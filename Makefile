@@ -1,0 +1,39 @@
+# treebench — reproduction of "Benchmarking Queries over Trees" (SIGMOD 2000)
+
+GO ?= go
+
+.PHONY: all build test bench experiments experiments-full plots cover fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every paper table/figure through the bench harness.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
+experiments:
+	$(GO) run ./cmd/treebench -all
+
+experiments-full:
+	$(GO) run ./cmd/treebench -all -sf 1
+
+# Gnuplot data + scripts for every experiment, into ./plots.
+plots:
+	$(GO) run ./cmd/treebench -all -gnuplot plots
+
+cover:
+	$(GO) test -cover ./...
+
+# Continuous fuzzing entry points (interrupt when satisfied).
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/oql
+	$(GO) test -fuzz FuzzPageOps -fuzztime 30s ./internal/storage
+
+clean:
+	rm -rf plots results.csv test_output.txt bench_output.txt

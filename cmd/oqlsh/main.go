@@ -1,0 +1,73 @@
+// Command oqlsh is an interactive OQL shell over a generated Derby
+// database. Queries run against the simulated engine; each result is
+// reported with its plan, the considered alternatives, sample rows,
+// simulated elapsed time, and the Figure 3 counters.
+//
+// Usage:
+//
+//	oqlsh [-providers 200] [-avg 50] [-clustering class] [-strategy cost]
+//
+// Shell commands:
+//
+//	select ... ;         run an OQL query (newlines allowed, end with ';')
+//	.explain select ...  plan a query without running it
+//	.cold                cold-restart the caches (default before each query)
+//	.warm                keep caches warm between queries
+//	.schema              show extents, attributes and indexes
+//	.stats               show index histograms
+//	.strategy cost|heur  switch optimizer strategy
+//	.help                this text
+//	.quit                exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"treebench"
+	"treebench/internal/oql"
+	"treebench/internal/shell"
+)
+
+func main() {
+	var (
+		providers  = flag.Int("providers", 200, "number of providers")
+		avg        = flag.Int("avg", 50, "average patients per provider")
+		clustering = flag.String("clustering", "class", "class, random, composition")
+		strategy   = flag.String("strategy", "cost", "optimizer strategy: cost, heuristic")
+	)
+	flag.Parse()
+
+	var cl treebench.Clustering
+	switch *clustering {
+	case "class":
+		cl = treebench.ClassCluster
+	case "random":
+		cl = treebench.RandomOrg
+	case "composition":
+		cl = treebench.CompositionCluster
+	default:
+		fmt.Fprintf(os.Stderr, "oqlsh: unknown clustering %q\n", *clustering)
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating %d providers × %d patients (%s clustering)...\n",
+		*providers, (*providers)*(*avg), cl)
+	d, err := treebench.GenerateDerby(treebench.DerbyConfig(*providers, *avg, cl))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oqlsh:", err)
+		os.Exit(1)
+	}
+	sh := shell.New(d.DB)
+	if strings.HasPrefix(*strategy, "heur") {
+		sh.Planner.Strategy = oql.Heuristic
+	}
+	fmt.Println(`ready; try: select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100 and p.upin < 10;`)
+	fmt.Println(`type .help for commands`)
+	if err := sh.Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oqlsh:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// clustering shows how the three physical organizations of Figure 2 change
+// the I/O of the very same logical queries: a simple selection and the
+// tree query, each run cold on class-clustered, random, and
+// composition-clustered copies of one database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treebench"
+)
+
+const (
+	providers = 100
+	avg       = 100
+)
+
+func main() {
+	clusterings := []treebench.Clustering{
+		treebench.ClassCluster, treebench.RandomOrg, treebench.CompositionCluster,
+	}
+
+	fmt.Println("same database, three physical organizations (Figure 2)")
+	fmt.Printf("%d providers × %d avg patients\n\n", providers, avg)
+
+	fmt.Println("query 1: select pa.name, pa.age from pa in Patients where pa.mrn < 10% — cost-based plan")
+	for _, cl := range clusterings {
+		d, err := treebench.GenerateDerby(treebench.DerbyConfig(providers, avg, cl))
+		if err != nil {
+			log.Fatal(err)
+		}
+		planner := treebench.NewPlanner(d.DB, treebench.CostBased)
+		d.DB.ColdRestart()
+		res, err := planner.Query(fmt.Sprintf(
+			"select pa.name, pa.age from pa in Patients where pa.mrn < %d", d.NumPatients/10+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %8.2fs simulated  %6d pages read  via %s\n",
+			cl, res.Elapsed.Seconds(), res.Counters.DiskReads, res.Selection.Access)
+	}
+
+	fmt.Println("\nquery 2: the §5 tree query at sel(pat)=10%, sel(prov)=10% — cost-based plan")
+	for _, cl := range clusterings {
+		d, err := treebench.GenerateDerby(treebench.DerbyConfig(providers, avg, cl))
+		if err != nil {
+			log.Fatal(err)
+		}
+		planner := treebench.NewPlanner(d.DB, treebench.CostBased)
+		d.DB.ColdRestart()
+		res, err := planner.Query(fmt.Sprintf(
+			"select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < %d and p.upin < %d",
+			d.NumPatients/10+1, d.NumProviders/10+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %8.2fs simulated  %6d pages read  via %s\n",
+			cl, res.Elapsed.Seconds(), res.Counters.DiskReads, res.Plan.Algorithm)
+	}
+
+	fmt.Println(`
+the paper's lesson (§5.3): composition clustering makes navigation (NL)
+unbeatable on the hierarchy but taxes simple selections, because every page
+of selected patients drags unselected neighbours and their provider along;
+the class-clustered selection reads the fewest pages.`)
+}

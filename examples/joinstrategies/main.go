@@ -1,0 +1,79 @@
+// joinstrategies runs the paper's §5 tree query with all four evaluation
+// strategies (plus the hybrid-hash extension) on both Derby databases and
+// prints a Figure 11/12-style comparison — the headline experiment of the
+// reproduction, in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"treebench"
+)
+
+func main() {
+	configs := []struct {
+		label     string
+		providers int
+		avg       int
+	}{
+		{"1:1000 (few big parents)", 50, 1000},
+		{"1:3 (many small parents)", 20000, 3},
+	}
+	selectivities := [][2]int{{10, 10}, {10, 90}, {90, 10}, {90, 90}}
+	algorithms := []treebench.Algorithm{
+		treebench.PHJ, treebench.CHJ, treebench.NOJOIN, treebench.NL,
+		treebench.HHJ, treebench.SMJ, treebench.VNOJOIN,
+	}
+
+	for _, cfg := range configs {
+		fmt.Printf("\n=== %s: %d providers × %d avg patients, class clustering ===\n",
+			cfg.label, cfg.providers, cfg.avg)
+		d, err := treebench.GenerateDerby(
+			treebench.DerbyConfig(cfg.providers, cfg.avg, treebench.ClassCluster))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Shrink the hash budget with the data so tables can outgrow it,
+		// as the paper's 1:3 tables outgrew the Sparc 20 (the harness in
+		// internal/core does this scaling for the real experiments).
+		d.DB.Machine.HashBudget /= 40
+
+		env := treebench.DerbyJoinEnv(d)
+		for _, sel := range selectivities {
+			q := env.BySelectivity(sel[0], sel[1])
+			type row struct {
+				algo    treebench.Algorithm
+				seconds float64
+				note    string
+			}
+			var rows []row
+			for _, algo := range algorithms {
+				d.DB.ColdRestart()
+				res, err := treebench.RunJoin(env, algo, q)
+				if err != nil {
+					log.Fatal(err)
+				}
+				note := ""
+				if res.Swapped {
+					note = fmt.Sprintf("table %.1fMB swaps", float64(res.HashTableBytes)/(1<<20))
+				}
+				if res.SpillPartitions > 1 {
+					note = fmt.Sprintf("%d spill partitions", res.SpillPartitions)
+				}
+				rows = append(rows, row{algo, res.Elapsed.Seconds(), note})
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].seconds < rows[j].seconds })
+			fmt.Printf("\n  sel(patients)=%d%% sel(providers)=%d%%\n", sel[0], sel[1])
+			for _, r := range rows {
+				fmt.Printf("    %-7s %8.2fs  (%.2fx)  %s\n",
+					r.algo, r.seconds, r.seconds/rows[0].seconds, r.note)
+			}
+		}
+	}
+	fmt.Println("\npaper's shape: hash joins win under class clustering; NOJOIN stays competitive")
+	fmt.Println("when parents are few; swapped tables hand the win to navigation; HHJ (the")
+	fmt.Println("extension the paper calls for) dodges the swap with sequential spills;")
+	fmt.Println("SMJ shows why sorting was dropped; VNOJOIN shows why physical ids won.")
+}

@@ -1,0 +1,124 @@
+// odmg demonstrates the ODMG model features the paper credits (and debits)
+// O2 for: class inheritance with polymorphic extents, declared 1-n
+// relationships whose two sides the engine maintains together, and
+// reference-keyed indexes — wrapped up in a hospital that actually runs
+// the §4.4 retire-a-doctor update correctly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treebench"
+)
+
+func main() {
+	db := treebench.New(treebench.DefaultMachine(), treebench.DefaultCostModel(), treebench.NoTransaction)
+
+	// Inheritance: specialists are doctors.
+	doctor := treebench.NewClass("Doctor", []treebench.Attr{
+		{Name: "id", Kind: treebench.KindInt},
+		{Name: "patients", Kind: treebench.KindSet},
+	})
+	specialist, err := treebench.NewSubclass("Specialist", doctor, []treebench.Attr{
+		{Name: "field", Kind: treebench.KindString, StrLen: 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	patient := treebench.NewClass("Patient", []treebench.Attr{
+		{Name: "id", Kind: treebench.KindInt},
+		{Name: "doctor", Kind: treebench.KindRef},
+	})
+
+	doctors, err := db.CreateExtent("Doctors", doctor, "doctors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	patients, err := db.CreateExtent("Patients", patient, "patients")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reference-keyed index: patients by their doctor (§4.4's example).
+	if _, _, err := db.CreateIndex(patients, "doctor", false); err != nil {
+		log.Fatal(err)
+	}
+	// The declared relationship keeps both sides consistent.
+	rel, err := db.DefineRelationship(doctors, "patients", patients, "doctor")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A polymorphic ward: plain doctors and specialists in one extent.
+	var docRids []treebench.Rid
+	for i := 0; i < 4; i++ {
+		var rid treebench.Rid
+		if i%2 == 0 {
+			rid, err = db.Insert(nil, doctors, []treebench.Value{
+				treebench.IntValue(int64(i)), treebench.SetValue(treebench.NilRid),
+			})
+		} else {
+			rid, err = db.InsertAs(nil, doctors, specialist, []treebench.Value{
+				treebench.IntValue(int64(i)), treebench.SetValue(treebench.NilRid),
+				treebench.StringValue("cardiology"),
+			})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		docRids = append(docRids, rid)
+	}
+	var patRids []treebench.Rid
+	for i := 0; i < 200; i++ {
+		rid, err := db.Insert(nil, patients, []treebench.Value{
+			treebench.IntValue(int64(i)), treebench.RefValue(treebench.NilRid),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		patRids = append(patRids, rid)
+		// One SetParent maintains the reference, the doctor's set, and
+		// the reference index together.
+		if err := rel.SetParent(db, nil, rid, docRids[i%4]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rel.VerifyConsistency(db); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("populated: 4 doctors (2 specialists) sharing one polymorphic extent, 200 patients")
+	for i, d := range docRids {
+		kids, _ := rel.Children(db, d)
+		fmt.Printf("  doctor %d: %d patients\n", i, len(kids))
+	}
+
+	// The §4.4 update, done right: doctor 0 retires; every patient moves
+	// to doctor 1 with sets, references and the index maintained.
+	db.Meter.Reset()
+	kids, err := rel.Children(db, docRids[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range kids {
+		if err := rel.SetParent(db, nil, k, docRids[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rel.VerifyConsistency(db); err != nil {
+		log.Fatal(err)
+	}
+	after0, _ := rel.Children(db, docRids[0])
+	after1, _ := rel.Children(db, docRids[1])
+	fmt.Printf("\ndoctor 0 retires: %d patients transferred in %.3fs simulated\n",
+		len(kids), db.Meter.Elapsed().Seconds())
+	fmt.Printf("  doctor 0 now has %d patients, doctor 1 has %d; relationship verified consistent\n",
+		len(after0), len(after1))
+
+	// The reference index answers "who sees doctor 1" without a scan.
+	ix := db.IndexOn("Patients", "doctor")
+	rids, err := ix.Tree.Lookup(db.Client, treebench.RefIndexKey(docRids[1]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ref-index lookup for doctor 1: %d patients\n", len(rids))
+}

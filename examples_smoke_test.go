@@ -1,0 +1,39 @@
+package treebench_test
+
+// Runtime smoke tests for the example programs, guarded behind an
+// environment variable because each example builds and runs a real
+// workload (`TREEBENCH_EXAMPLES=1 go test -run TestExamples .`).
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if os.Getenv("TREEBENCH_EXAMPLES") == "" {
+		t.Skip("set TREEBENCH_EXAMPLES=1 to execute every example program")
+	}
+	cases := map[string]string{
+		"./examples/quickstart":     "books from the 90s",
+		"./examples/clustering":     "composition",
+		"./examples/resultsdb":      "recorded 8 measurements",
+		"./examples/evolution":      "reachability GC",
+		"./examples/odmg":           "relationship verified consistent",
+		"./examples/xmltree":        "associative",
+		"./examples/joinstrategies": "spill partitions",
+	}
+	for dir, want := range cases {
+		dir, want := dir, want
+		t.Run(strings.TrimPrefix(dir, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", dir, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("%s output missing %q:\n%s", dir, want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module treebench
+
+go 1.22

@@ -1,0 +1,244 @@
+package cache
+
+import (
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+)
+
+// Server is the server-side page cache in front of the disk. It implements
+// storage.Pager.
+type Server struct {
+	disk  *storage.Disk
+	meter *sim.Meter
+	lru   *lru
+}
+
+// NewServer returns a server cache of capacityBytes over disk, charging
+// events to meter.
+func NewServer(disk *storage.Disk, meter *sim.Meter, capacityBytes int64) *Server {
+	return &Server{
+		disk:  disk,
+		meter: meter,
+		lru:   newLRU(int(capacityBytes / storage.PageSize)),
+	}
+}
+
+// Read implements storage.Pager: a hit is free, a miss reads from disk.
+func (s *Server) Read(id storage.PageID) ([]byte, error) {
+	if e := s.lru.get(id); e != nil {
+		s.meter.ServerHit()
+		return e.buf, nil
+	}
+	buf, err := s.disk.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	s.meter.DiskRead()
+	s.admit(id, buf, false)
+	return buf, nil
+}
+
+// Write implements storage.Pager: marks the page dirty in the cache.
+func (s *Server) Write(id storage.PageID) error {
+	if e := s.lru.peek(id); e != nil {
+		e.dirty = true
+		return nil
+	}
+	// Page not resident (e.g. handed straight down from a client
+	// eviction): pull it in dirty.
+	buf, err := s.disk.Read(id)
+	if err != nil {
+		return err
+	}
+	s.admit(id, buf, true)
+	return nil
+}
+
+// Alloc implements storage.Pager. The fresh page is resident and dirty.
+func (s *Server) Alloc() (storage.PageID, []byte, error) {
+	id, buf, err := s.disk.Alloc()
+	if err != nil {
+		return 0, nil, err
+	}
+	s.admit(id, buf, true)
+	return id, buf, nil
+}
+
+func (s *Server) admit(id storage.PageID, buf []byte, dirty bool) {
+	if evicted := s.lru.put(id, buf, dirty); evicted != nil && evicted.dirty {
+		s.meter.DiskWrite()
+	}
+}
+
+// Flush writes every dirty resident page to disk, leaving the cache warm.
+func (s *Server) Flush() {
+	for e := s.lru.tail; e != nil; e = e.prev {
+		if e.dirty {
+			e.dirty = false
+			s.meter.DiskWrite()
+		}
+	}
+}
+
+// Shutdown flushes and empties the cache (the paper's cold restart between
+// measured queries).
+func (s *Server) Shutdown() {
+	for _, e := range s.lru.drain() {
+		if e.dirty {
+			s.meter.DiskWrite()
+		}
+	}
+}
+
+// Resident returns the number of cached pages.
+func (s *Server) Resident() int { return s.lru.len() }
+
+// Client is the client-side page cache. Every miss is one RPC to the
+// server carrying one page back; scan operators can additionally batch
+// their upcoming pages into one RPC via Prefetch. It implements
+// storage.Pager and is what the object layer and indexes run on.
+type Client struct {
+	server *Server
+	meter  *sim.Meter
+	lru    *lru
+
+	// readAhead is the batch size Prefetch-aware scans use; 1 disables
+	// prefetching.
+	readAhead int
+}
+
+// NewClient returns a client cache of capacityBytes over srv.
+func NewClient(srv *Server, meter *sim.Meter, capacityBytes int64) *Client {
+	return &Client{
+		server:    srv,
+		meter:     meter,
+		lru:       newLRU(int(capacityBytes / storage.PageSize)),
+		readAhead: 1,
+	}
+}
+
+// SetReadAhead sets the batch size Prefetch-aware scans use (n ≤ 1
+// disables prefetching). O2 itself fetched page by page; batching is the
+// obvious follow-up to the paper's observation that cache tuning "reduces
+// both IOs and RPCs".
+func (c *Client) SetReadAhead(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.readAhead = n
+}
+
+// ReadAheadBatch reports the configured prefetch batch size (≥1); scan
+// operators use it to size their Prefetch calls.
+func (c *Client) ReadAheadBatch() int { return c.readAhead }
+
+// Prefetch pulls the non-resident pages of ids into the cache with a
+// single RPC. Scan operators call it with the pages they are about to
+// read; unlike blind sequential read-ahead, nothing is fetched that the
+// caller did not ask for.
+func (c *Client) Prefetch(ids []storage.PageID) {
+	fetched := 0
+	for _, id := range ids {
+		if c.lru.peek(id) != nil {
+			continue
+		}
+		buf, err := c.server.Read(id)
+		if err != nil {
+			continue
+		}
+		c.meter.ServerToClient()
+		c.admit(id, buf, false)
+		fetched++
+	}
+	if fetched > 0 {
+		c.meter.RPC(fetched * storage.PageSize)
+	}
+}
+
+// Read implements storage.Pager.
+func (c *Client) Read(id storage.PageID) ([]byte, error) {
+	if e := c.lru.get(id); e != nil {
+		c.meter.ClientHit()
+		return e.buf, nil
+	}
+	c.meter.ClientFault()
+	c.meter.RPC(storage.PageSize)
+	buf, err := c.server.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	c.meter.ServerToClient()
+	c.admit(id, buf, false)
+	return buf, nil
+}
+
+// Write implements storage.Pager: marks the page dirty client-side. The
+// write travels to the server when the page is evicted or flushed.
+func (c *Client) Write(id storage.PageID) error {
+	if e := c.lru.peek(id); e != nil {
+		e.dirty = true
+		return nil
+	}
+	// Not resident: fetch, then dirty.
+	if _, err := c.Read(id); err != nil {
+		return err
+	}
+	c.lru.peek(id).dirty = true
+	return nil
+}
+
+// Alloc implements storage.Pager.
+func (c *Client) Alloc() (storage.PageID, []byte, error) {
+	c.meter.RPC(64) // allocation request
+	id, buf, err := c.server.Alloc()
+	if err != nil {
+		return 0, nil, err
+	}
+	c.admit(id, buf, true)
+	return id, buf, nil
+}
+
+func (c *Client) admit(id storage.PageID, buf []byte, dirty bool) {
+	if evicted := c.lru.put(id, buf, dirty); evicted != nil && evicted.dirty {
+		c.writeBack(evicted)
+	}
+}
+
+func (c *Client) writeBack(e *lruEntry) {
+	c.meter.RPC(storage.PageSize)
+	// Data is shared in-process; only the traffic is simulated. The
+	// server's Write pulls the page into its cache dirty if needed.
+	_ = c.server.Write(e.id)
+}
+
+// Flush pushes every dirty client page to the server and flushes the
+// server to disk.
+func (c *Client) Flush() {
+	for e := c.lru.tail; e != nil; e = e.prev {
+		if e.dirty {
+			e.dirty = false
+			c.writeBack(e)
+		}
+	}
+	c.server.Flush()
+}
+
+// Shutdown flushes and empties both cache levels (cold restart).
+func (c *Client) Shutdown() {
+	for _, e := range c.lru.drain() {
+		if e.dirty {
+			c.writeBack(e)
+		}
+	}
+	c.server.Shutdown()
+}
+
+// Resident returns the number of client-resident pages.
+func (c *Client) Resident() int { return c.lru.len() }
+
+// Hierarchy builds the standard disk→server→client stack for one session.
+func Hierarchy(disk *storage.Disk, meter *sim.Meter, machine sim.Machine) (*Server, *Client) {
+	srv := NewServer(disk, meter, machine.ServerCache)
+	cli := NewClient(srv, meter, machine.ClientCache)
+	return srv, cli
+}

@@ -1,0 +1,116 @@
+// Package cache implements O2's two-level buffer management: a server page
+// cache in front of the disk and a client page cache in front of the
+// server, talking over a metered RPC boundary (§2 runs both on one
+// machine, so an RPC is cheap but counted).
+//
+// The caches simulate traffic, not buffer copies: entries alias the disk's
+// page buffers, and the meter records the events the paper's Figure 3
+// schema reports (client faults, RPC count and volume, server-to-client and
+// disk-to-server page movements, miss rates). Eviction of a dirty page
+// charges the write path below it.
+package cache
+
+import "treebench/internal/storage"
+
+// lruEntry is a node of the intrusive LRU list.
+type lruEntry struct {
+	id         storage.PageID
+	buf        []byte
+	dirty      bool
+	prev, next *lruEntry
+}
+
+// lru is a fixed-capacity page LRU. Not safe for concurrent use; the engine
+// is single-session like the paper's setup ("only one client running").
+type lru struct {
+	capacity int
+	entries  map[storage.PageID]*lruEntry
+	head     *lruEntry // most recently used
+	tail     *lruEntry // least recently used
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{capacity: capacity, entries: make(map[storage.PageID]*lruEntry, capacity)}
+}
+
+func (l *lru) get(id storage.PageID) *lruEntry {
+	e := l.entries[id]
+	if e != nil {
+		l.moveToFront(e)
+	}
+	return e
+}
+
+// peek returns the entry without touching recency.
+func (l *lru) peek(id storage.PageID) *lruEntry { return l.entries[id] }
+
+// put inserts a page, evicting the LRU entry if needed. The evicted entry
+// (nil if none) is returned so the caller can propagate dirty data down.
+func (l *lru) put(id storage.PageID, buf []byte, dirty bool) (evicted *lruEntry) {
+	if e := l.entries[id]; e != nil {
+		e.buf = buf
+		e.dirty = e.dirty || dirty
+		l.moveToFront(e)
+		return nil
+	}
+	if len(l.entries) >= l.capacity {
+		evicted = l.tail
+		l.remove(evicted)
+	}
+	e := &lruEntry{id: id, buf: buf, dirty: dirty}
+	l.pushFront(e)
+	l.entries[id] = e
+	return evicted
+}
+
+func (l *lru) remove(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(l.entries, e.id)
+}
+
+func (l *lru) pushFront(e *lruEntry) {
+	e.next = l.head
+	e.prev = nil
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lru) moveToFront(e *lruEntry) {
+	if l.head == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+	l.entries[e.id] = e
+}
+
+func (l *lru) len() int { return len(l.entries) }
+
+// drain removes and returns all entries, LRU first.
+func (l *lru) drain() []*lruEntry {
+	out := make([]*lruEntry, 0, len(l.entries))
+	for l.tail != nil {
+		e := l.tail
+		l.remove(e)
+		out = append(out, e)
+	}
+	return out
+}

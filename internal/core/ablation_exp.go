@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"treebench/internal/derby"
+	"treebench/internal/join"
+	"treebench/internal/selection"
+	"treebench/internal/txn"
+)
+
+// Loading reproduces the §3.2 loading experiments on the 10⁶×3 database:
+// the tuned configuration against each blunder the authors worked through
+// — standard transactions, indexing after the load (the relocation storm),
+// and the default 4 MB client cache.
+func (r *Runner) Loading() (*Table, error) {
+	p, a := r.bigScale()
+	t := &Table{
+		ID:    "L1",
+		Title: fmt.Sprintf("Loading the %s database (class clustering)", dbLabel(p, a)),
+		Columns: []string{"configuration", "load time (sec)", "commits", "relocations",
+			"pages written", "log pages", "RPCs"},
+	}
+	base := func() derby.Config {
+		cfg := derby.DefaultConfig(p, a, derby.ClassCluster)
+		cfg.Seed = r.Config.Seed
+		cfg.Machine = MachineForSF(r.Config.SF)
+		cfg.SkipNumIndex = true
+		return cfg
+	}
+	run := func(label string, cfg derby.Config) error {
+		r.logf("  loading: %s ...", label)
+		d, err := derby.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(label, d.Load.Elapsed.Seconds(), d.Load.Commits, d.Load.Relocations,
+			d.Load.Counters.DiskWrites, d.Load.Counters.LogPages, d.Load.Counters.RPCs)
+		return nil
+	}
+
+	tuned := base()
+	if err := run("tuned: txn-off, index first, 32MB client cache", tuned); err != nil {
+		return nil, err
+	}
+
+	std := base()
+	std.TxnMode = txn.Standard
+	if err := run("standard transactions (10k objects/commit)", std); err != nil {
+		return nil, err
+	}
+
+	late := base()
+	late.IndexBeforeLoad = false
+	if err := run("indexes created after load (relocation storm)", late); err != nil {
+		return nil, err
+	}
+
+	// The client-cache lesson needs a load that revisits pages. The
+	// class-clustered 1:3 load streams, but the 2,000×1,000 database
+	// maintains the unclustered num index during the load: every insert
+	// descends to a random leaf, and those leaves only stay resident when
+	// the client cache is big enough.
+	sp, sa := r.smallScale()
+	cacheBase := func() derby.Config {
+		cfg := derby.DefaultConfig(sp, sa, derby.ClassCluster)
+		cfg.Seed = r.Config.Seed
+		cfg.Machine = MachineForSF(r.Config.SF)
+		return cfg
+	}
+	bigCache := cacheBase()
+	if err := run(fmt.Sprintf("%s DB (num index), tuned 32MB client cache", dbLabel(sp, sa)), bigCache); err != nil {
+		return nil, err
+	}
+	smallCache := cacheBase()
+	smallCache.Machine.ClientCache = 4 << 20 / int64(r.Config.SF)
+	if err := run(fmt.Sprintf("%s DB (num index), default 4MB client cache", dbLabel(sp, sa)), smallCache); err != nil {
+		return nil, err
+	}
+
+	t.Notes = append(t.Notes,
+		"the paper went from 12h to 5h by fixing exactly these: transaction-off loading, first index before load, 32MB client cache (§3.2)")
+	return t, nil
+}
+
+// Handles reproduces the §4.4 proposal as a measured ablation: the same
+// workloads under O2's fat 60-byte handles and under the proposed compact
+// handles with bulk allocation. Cold associative scans speed up by the
+// handle residue; navigation workloads are unharmed.
+func (r *Runner) Handles() (*Table, error) {
+	d, err := r.selectionDataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "H1",
+		Title:   "Fat vs slim handles (§4.4 proposal), 2x10^3 Providers database",
+		Columns: []string{"workload", "fat handles (sec)", "slim handles (sec)", "speedup"},
+	}
+	type workload struct {
+		label string
+		run   func() (float64, error)
+	}
+	runSelection := func(permille int, access selection.Access) func() (float64, error) {
+		return func() (float64, error) {
+			res, err := r.coldSelection(d, permille, access)
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed.Seconds(), nil
+		}
+	}
+	runJoin := func(selPat, selProv int, algo join.Algorithm) func() (float64, error) {
+		return func() (float64, error) {
+			// Bypass the run cache: both handle modes must execute.
+			env := join.EnvForDerby(d)
+			d.DB.ColdRestart()
+			res, err := join.Run(env, algo, env.BySelectivity(selPat, selProv))
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed.Seconds(), nil
+		}
+	}
+	workloads := []workload{
+		{"cold full scan, 90% selection", runSelection(900, selection.FullScan)},
+		{"cold sorted index scan, 90% selection", runSelection(900, selection.SortedIndexScan)},
+		{"NOJOIN navigation (10%,10%)", runJoin(10, 10, join.NOJOIN)},
+		{"NL navigation (10%,10%)", runJoin(10, 10, join.NL)},
+	}
+	for _, w := range workloads {
+		d.DB.Meter.SetSlimHandles(false)
+		fat, err := w.run()
+		if err != nil {
+			return nil, err
+		}
+		d.DB.Meter.SetSlimHandles(true)
+		slim, err := w.run()
+		d.DB.Meter.SetSlimHandles(false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w.label, fat, slim, fmt.Sprintf("%.2fx", fat/slim))
+	}
+	t.Notes = append(t.Notes,
+		"the proposal fixes associative accesses 'without hurting those of main memory navigation': the scan speedup is large, the navigation change is dominated by I/O")
+	return t, nil
+}

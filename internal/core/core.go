@@ -1,0 +1,262 @@
+// Package core is the benchmark itself: the paper's primary contribution
+// reproduced as runnable experiments. Each experiment regenerates one table
+// or figure of the paper (see DESIGN.md's per-experiment index) against the
+// simulated O2-like engine, at a configurable scale factor.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"treebench/internal/derby"
+	"treebench/internal/join"
+	"treebench/internal/sim"
+	"treebench/internal/stats"
+)
+
+// Config parameterizes a benchmark session.
+type Config struct {
+	// SF divides the paper's database cardinalities and the machine's
+	// memory sizes, preserving every data-to-memory ratio. SF=1 is the
+	// paper's full scale (2,000×1,000 and 1,000,000×3); the default 10
+	// runs the same shapes in about a tenth of the wall-clock time.
+	SF int
+	// Seed drives the deterministic data generator.
+	Seed int32
+	// EnableHHJ adds the hybrid-hash extension as an extra column in the
+	// join experiments.
+	EnableHHJ bool
+	// Verbose, when non-nil, receives progress lines.
+	Verbose io.Writer
+}
+
+// DefaultSF is the default scale divisor.
+const DefaultSF = 10
+
+// ScaleEnvVar overrides the scale factor (TREEBENCH_SF=1 reproduces paper
+// scale).
+const ScaleEnvVar = "TREEBENCH_SF"
+
+// ConfigFromEnv builds the default config, honoring ScaleEnvVar.
+func ConfigFromEnv() Config {
+	cfg := Config{SF: DefaultSF, Seed: 1997}
+	if v := os.Getenv(ScaleEnvVar); v != "" {
+		if sf, err := strconv.Atoi(v); err == nil && sf >= 1 {
+			cfg.SF = sf
+		}
+	}
+	return cfg
+}
+
+// MachineForSF scales the paper's Sparc 20 memory geography down with the
+// data, so cache-to-data and budget-to-table ratios match the paper's at
+// any scale factor.
+func MachineForSF(sf int) sim.Machine {
+	m := sim.DefaultMachine()
+	m.RAM /= int64(sf)
+	m.ServerCache /= int64(sf)
+	m.ClientCache /= int64(sf)
+	m.HashBudget /= int64(sf)
+	return m
+}
+
+// Table is one reproduced paper table/figure.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Format(&b)
+	return b.String()
+}
+
+// dsKey identifies a generated database.
+type dsKey struct {
+	providers int
+	avg       int
+	cl        derby.Clustering
+}
+
+// joinKey identifies one cold join run for cross-experiment reuse
+// (Figure 15 re-reports Figure 11–14 numbers).
+type joinKey struct {
+	ds   dsKey
+	sel  [2]int // patients, providers
+	algo join.Algorithm
+}
+
+// Runner executes experiments, caching generated databases and join runs.
+type Runner struct {
+	Config Config
+	// Stats records every measured run in the §3.3 results database.
+	Stats *stats.DB
+
+	datasets map[dsKey]*derby.Dataset
+	joinRuns map[joinKey]*join.Result
+}
+
+// NewRunner returns a runner with an empty cache and a fresh results DB.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.SF < 1 {
+		return nil, fmt.Errorf("core: scale factor %d < 1", cfg.SF)
+	}
+	sdb, err := stats.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Config:   cfg,
+		Stats:    sdb,
+		datasets: make(map[dsKey]*derby.Dataset),
+		joinRuns: make(map[joinKey]*join.Result),
+	}, nil
+}
+
+// logf writes progress when verbose.
+func (r *Runner) logf(format string, args ...any) {
+	if r.Config.Verbose != nil {
+		fmt.Fprintf(r.Config.Verbose, format+"\n", args...)
+	}
+}
+
+// The paper's two databases, scaled.
+func (r *Runner) smallScale() (providers, avg int) { return 2000 / r.Config.SF, 1000 }
+func (r *Runner) bigScale() (providers, avg int)   { return 1_000_000 / r.Config.SF, 3 }
+
+// bothScales lists the two database scales in the paper's order.
+func (r *Runner) bothScales() [][2]int {
+	p1, a1 := r.smallScale()
+	p2, a2 := r.bigScale()
+	return [][2]int{{p1, a1}, {p2, a2}}
+}
+
+// dbLabel names a database like the paper ("2x10^3 Providers").
+func dbLabel(providers, avg int) string {
+	return fmt.Sprintf("%dx%d", providers, avg)
+}
+
+// dataset builds (or reuses) a database.
+func (r *Runner) dataset(providers, avg int, cl derby.Clustering) (*derby.Dataset, error) {
+	key := dsKey{providers, avg, cl}
+	if d, ok := r.datasets[key]; ok {
+		return d, nil
+	}
+	r.logf("generating %s database, %s clustering ...", dbLabel(providers, avg), cl)
+	cfg := derby.DefaultConfig(providers, avg, cl)
+	cfg.Seed = r.Config.Seed
+	cfg.Machine = MachineForSF(r.Config.SF)
+	// The 1:3 databases never use the num index; skipping it matches the
+	// paper's patient size there and halves generation time.
+	cfg.SkipNumIndex = avg < 100
+	d, err := derby.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.datasets[key] = d
+	return d, nil
+}
+
+// coldJoin runs one algorithm cold, reusing a cached result if this exact
+// run happened before, and records it in the stats database.
+func (r *Runner) coldJoin(d *derby.Dataset, key dsKey, selPat, selProv int, algo join.Algorithm) (*join.Result, error) {
+	jk := joinKey{ds: key, sel: [2]int{selPat, selProv}, algo: algo}
+	if res, ok := r.joinRuns[jk]; ok {
+		return res, nil
+	}
+	env := join.EnvForDerby(d)
+	q := env.BySelectivity(selPat, selProv)
+	d.DB.ColdRestart()
+	res, err := join.Run(env, algo, q)
+	if err != nil {
+		return nil, err
+	}
+	r.joinRuns[jk] = res
+	r.logf("  %-6s sel(pat=%d%%, prov=%d%%) %-11s t=%.2fs tuples=%d",
+		d.Clustering, selPat, selProv, algo, res.Elapsed.Seconds(), res.Tuples)
+	if r.Stats != nil {
+		e := stats.Entry{
+			Cold:            true,
+			ProjectionType:  "attributes",
+			Selectivity:     selPat,
+			Text:            "select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < k1 and p.upin < k2",
+			Database:        dbLabel(d.NumProviders, d.NumPatients/max(d.NumProviders, 1)),
+			Cluster:         d.Clustering.String(),
+			Algo:            string(algo),
+			ServerCacheSize: d.DB.Machine.ServerCache,
+			ClientCacheSize: d.DB.Machine.ClientCache,
+			SameWorkstation: true,
+		}
+		e.FromCounters(res.Elapsed, res.Counters)
+		if _, err := r.Stats.Record(e); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

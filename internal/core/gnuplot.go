@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Gnuplot support: the authors thank Jérôme Siméon "for giving us a hand
+// in using YAT to convert data from O2 to Gnuplot"; this is that
+// converter, built in. Each experiment table renders to a whitespace
+// .dat file and a .gp script that plots its numeric columns.
+
+// isNumeric reports whether every non-empty cell of column c parses as a
+// number.
+func (t *Table) isNumeric(c int) bool {
+	any := false
+	for _, row := range t.Rows {
+		if c >= len(row) || row[c] == "" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(row[c], 64); err != nil {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// GnuplotData renders the table as a gnuplot .dat file: a comment header
+// naming the columns, then whitespace-separated rows (non-numeric cells
+// are quoted, embedded spaces replaced so columns stay aligned).
+func (t *Table) GnuplotData() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	b.WriteString("#")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, " %d:%s", i+1, sanitizeToken(c))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err == nil {
+				b.WriteString(cell)
+			} else {
+				b.WriteString(`"` + sanitizeToken(cell) + `"`)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// GnuplotScript renders a .gp script plotting every numeric column of the
+// table against the first numeric column (or the row number when there is
+// only one). datFile is the data file name the script references.
+func (t *Table) GnuplotScript(datFile string) string {
+	var numeric []int
+	for c := range t.Columns {
+		if t.isNumeric(c) {
+			numeric = append(numeric, c)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# gnuplot script for %s\n", t.ID)
+	fmt.Fprintf(&b, "set title %q\n", t.ID+" — "+t.Title)
+	fmt.Fprintf(&b, "set terminal svg size 900,540\n")
+	fmt.Fprintf(&b, "set output %q\n", strings.TrimSuffix(datFile, ".dat")+".svg")
+	b.WriteString("set key outside\nset grid\n")
+	if len(numeric) < 2 {
+		// Nothing meaningful to plot against; emit a bar of the single
+		// numeric column by row index.
+		if len(numeric) == 1 {
+			fmt.Fprintf(&b, "set style data histogram\n")
+			fmt.Fprintf(&b, "plot %q using %d title %q\n", datFile, numeric[0]+1, t.Columns[numeric[0]])
+		} else {
+			b.WriteString("# table has no numeric columns to plot\n")
+		}
+		return b.String()
+	}
+	x := numeric[0]
+	fmt.Fprintf(&b, "set xlabel %q\n", t.Columns[x])
+	b.WriteString("plot ")
+	first := true
+	for _, c := range numeric[1:] {
+		if !first {
+			b.WriteString(", \\\n     ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q using %d:%d with linespoints title %q",
+			datFile, x+1, c+1, t.Columns[c])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// sanitizeToken makes a string safe as a single gnuplot token.
+func sanitizeToken(s string) string {
+	s = strings.ReplaceAll(s, `"`, "'")
+	return strings.ReplaceAll(s, " ", "_")
+}

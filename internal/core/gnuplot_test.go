@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:      "T1",
+		Title:   "sample",
+		Columns: []string{"selectivity%", "algorithm", "time (sec)"},
+	}
+	t.AddRow(10, "PHJ", 1.5)
+	t.AddRow(90, "NL", 80.25)
+	return t
+}
+
+func TestGnuplotData(t *testing.T) {
+	tab := sampleTable()
+	dat := tab.GnuplotData()
+	lines := strings.Split(strings.TrimSpace(dat), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %d\n%s", len(lines), dat)
+	}
+	if !strings.HasPrefix(lines[0], "# T1") || !strings.Contains(lines[1], "3:time_(sec)") {
+		t.Fatalf("header:\n%s", dat)
+	}
+	if lines[2] != `10  "PHJ"  1.50` {
+		t.Fatalf("row: %q", lines[2])
+	}
+}
+
+func TestGnuplotScriptPlotsNumericColumns(t *testing.T) {
+	tab := sampleTable()
+	gp := tab.GnuplotScript("t1.dat")
+	for _, want := range []string{
+		`set xlabel "selectivity%"`,
+		`"t1.dat" using 1:3 with linespoints title "time (sec)"`,
+		`set output "t1.svg"`,
+	} {
+		if !strings.Contains(gp, want) {
+			t.Fatalf("script missing %q:\n%s", want, gp)
+		}
+	}
+	// The non-numeric algorithm column must not be plotted.
+	if strings.Contains(gp, "using 1:2") {
+		t.Fatalf("plotted a string column:\n%s", gp)
+	}
+}
+
+func TestGnuplotScriptDegenerate(t *testing.T) {
+	one := &Table{ID: "X", Title: "one numeric", Columns: []string{"label", "v"}}
+	one.AddRow("a", 1)
+	gp := one.GnuplotScript("x.dat")
+	if !strings.Contains(gp, "histogram") {
+		t.Fatalf("single-column fallback missing:\n%s", gp)
+	}
+	none := &Table{ID: "Y", Title: "no numerics", Columns: []string{"label"}}
+	none.AddRow("only-text")
+	gp = none.GnuplotScript("y.dat")
+	if !strings.Contains(gp, "no numeric columns") {
+		t.Fatalf("no-numeric fallback missing:\n%s", gp)
+	}
+}
+
+func TestGnuplotOnRealExperiment(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dat := tab.GnuplotData()
+	if len(strings.Split(strings.TrimSpace(dat), "\n")) != 2+len(tab.Rows) {
+		t.Fatalf("F7 dat malformed:\n%s", dat)
+	}
+	gp := tab.GnuplotScript("F7.dat")
+	if !strings.Contains(gp, "using 1:2") || !strings.Contains(gp, "using 1:3") {
+		t.Fatalf("F7 script incomplete:\n%s", gp)
+	}
+}

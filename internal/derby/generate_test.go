@@ -1,0 +1,409 @@
+package derby
+
+import (
+	"testing"
+
+	"treebench/internal/collection"
+	"treebench/internal/object"
+	"treebench/internal/storage"
+	"treebench/internal/txn"
+)
+
+func TestLRand48MatchesReference(t *testing.T) {
+	// Reference values computed from the POSIX lrand48 definition with
+	// srand48(0): X₀ = 0x330E, Xₙ₊₁ = (0x5DEECE66D·Xₙ + 0xB) mod 2⁴⁸,
+	// output Xₙ₊₁ >> 17.
+	r := NewLRand48(0)
+	want := []int64{
+		(0x5DEECE66D*0x330E + 0xB) & (1<<48 - 1) >> 17,
+	}
+	if got := r.Next(); got != want[0] {
+		t.Fatalf("first draw = %d, want %d", got, want[0])
+	}
+	// Determinism: same seed, same stream.
+	a, b := NewLRand48(42), NewLRand48(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("stream diverged")
+		}
+	}
+	// Different seeds diverge.
+	c := NewLRand48(43)
+	same := true
+	d := NewLRand48(42)
+	for i := 0; i < 10; i++ {
+		if c.Next() != d.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced one stream")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewLRand48(7)
+	p := r.Perm(1000)
+	seen := make([]bool, 1000)
+	for _, v := range p {
+		if v < 0 || v >= 1000 || seen[v] {
+			t.Fatalf("not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func smallConfig(clustering Clustering) Config {
+	cfg := DefaultConfig(50, 4, clustering)
+	return cfg
+}
+
+func checkDataset(t *testing.T, d *Dataset) {
+	t.Helper()
+	db := d.DB
+	if d.Providers.Count != d.NumProviders || d.Patients.Count != d.NumPatients {
+		t.Fatalf("counts: %d/%d providers, %d/%d patients",
+			d.Providers.Count, d.NumProviders, d.Patients.Count, d.NumPatients)
+	}
+	// Every patient's pcp resolves to a provider whose clients set
+	// contains the patient.
+	pcpIdx := d.Patients.Class.AttrIndex("primary_care_provider")
+	clientsIdx := d.Providers.Class.AttrIndex("clients")
+	for j, prid := range d.PatientRids {
+		rec, err := storage.Get(db.Client, prid)
+		if err != nil {
+			t.Fatalf("patient %d: %v", j, err)
+		}
+		v, err := object.DecodeAttr(d.Patients.Class, rec, pcpIdx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Ref.IsNil() {
+			t.Fatalf("patient %d has nil provider", j)
+		}
+		provRec, err := storage.Get(db.Client, v.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if object.ClassID(provRec) != d.Providers.Class.ID {
+			t.Fatalf("patient %d pcp is not a Provider", j)
+		}
+	}
+	// Clients sets partition the patients.
+	seen := map[storage.Rid]bool{}
+	total := 0
+	for i, prid := range d.ProviderRids {
+		rec, err := storage.Get(db.Client, prid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := object.DecodeAttr(d.Providers.Class, rec, clientsIdx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members, err := collection.Elems(db.Client, v.Ref)
+		if err != nil {
+			t.Fatalf("provider %d clients: %v", i, err)
+		}
+		for _, m := range members {
+			if seen[m] {
+				t.Fatalf("patient %v in two clients sets", m)
+			}
+			seen[m] = true
+			// Back-pointer agreement.
+			pr, _ := storage.Get(db.Client, m)
+			pv, _ := object.DecodeAttr(d.Patients.Class, pr, pcpIdx)
+			if pv.Ref != prid {
+				t.Fatalf("clients/pcp disagree for %v", m)
+			}
+		}
+		total += len(members)
+	}
+	if total != d.NumPatients {
+		t.Fatalf("clients sets cover %d patients, want %d", total, d.NumPatients)
+	}
+	// Indexes exist and are consistent.
+	for _, spec := range []struct {
+		extent, attr string
+		n            int
+	}{
+		{"Providers", "upin", d.NumProviders},
+		{"Patients", "mrn", d.NumPatients},
+		{"Patients", "num", d.NumPatients},
+	} {
+		ix := db.IndexOn(spec.extent, spec.attr)
+		if ix == nil {
+			t.Fatalf("no index on %s.%s", spec.extent, spec.attr)
+		}
+		if ix.Tree.Len() != spec.n {
+			t.Fatalf("%s.%s index has %d entries, want %d", spec.extent, spec.attr, ix.Tree.Len(), spec.n)
+		}
+		if err := ix.Tree.Validate(db.Client); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateClassCluster(t *testing.T) {
+	d, err := Generate(smallConfig(ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDataset(t, d)
+	// Class clustering: separate files, patients in mrn order.
+	if d.Providers.File == d.Patients.File {
+		t.Fatal("class clustering shares a file")
+	}
+	// mrn order = physical order (clustered index).
+	for j := 1; j < len(d.PatientRids); j++ {
+		if d.PatientRids[j].Less(d.PatientRids[j-1]) {
+			t.Fatal("patients not in physical mrn order")
+		}
+	}
+	if ix := d.DB.IndexOn("Patients", "mrn"); !ix.Clustered {
+		t.Fatal("mrn index not marked clustered")
+	}
+	if ix := d.DB.IndexOn("Patients", "num"); ix.Clustered {
+		t.Fatal("num index marked clustered")
+	}
+}
+
+func TestGenerateRandomOrg(t *testing.T) {
+	d, err := Generate(smallConfig(RandomOrg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDataset(t, d)
+	if d.Providers.File != d.Patients.File {
+		t.Fatal("random organization must share one file")
+	}
+	// Each class keeps its internal creation order within the merge...
+	for j := 1; j < len(d.PatientRids); j++ {
+		if d.PatientRids[j].Less(d.PatientRids[j-1]) {
+			t.Fatal("random organization must preserve per-class order (see RandomOrg doc)")
+		}
+	}
+	// ...but the classes are interleaved: some provider sits between two
+	// patients and vice versa.
+	interleaved := false
+	for i := 1; i < len(d.ProviderRids); i++ {
+		lo, hi := d.ProviderRids[i-1], d.ProviderRids[i]
+		for _, pr := range d.PatientRids {
+			if lo.Less(pr) && pr.Less(hi) {
+				interleaved = true
+			}
+		}
+	}
+	if !interleaved {
+		t.Fatal("random organization did not interleave the classes")
+	}
+}
+
+func TestGenerateCompositionCluster(t *testing.T) {
+	d, err := Generate(smallConfig(CompositionCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDataset(t, d)
+	if d.Providers.File != d.Patients.File {
+		t.Fatal("composition clustering must share one file")
+	}
+	// Each provider's patients sit physically at/after the provider and
+	// before the next provider.
+	for i := 0; i < d.NumProviders-1; i++ {
+		lo, hi := d.ProviderRids[i], d.ProviderRids[i+1]
+		rec, _ := storage.Get(d.DB.Client, lo)
+		v, _ := object.DecodeAttr(d.Providers.Class, rec, d.Providers.Class.AttrIndex("clients"))
+		members, _ := collection.Elems(d.DB.Client, v.Ref)
+		for _, m := range members {
+			if m.Less(lo) || hi.Less(m) {
+				t.Fatalf("provider %d patient %v outside [%v,%v]", i, m, lo, hi)
+			}
+		}
+	}
+}
+
+func TestLargeCollectionsGoToSeparateFile(t *testing.T) {
+	// With 600 patients per provider the clients sets exceed a page and
+	// must live in the Clients file under class clustering.
+	cfg := DefaultConfig(5, 600, ClassCluster)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DB.Store.File("Clients"); err != nil {
+		t.Fatalf("no Clients file: %v", err)
+	}
+	checkDataset(t, d)
+}
+
+func TestSmallCollectionsStayInline(t *testing.T) {
+	d, err := Generate(smallConfig(ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DB.Store.File("Clients"); err == nil {
+		t.Fatal("small sets created a separate Clients file")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DB.Store.Disk.NumPages() != b.DB.Store.Disk.NumPages() {
+		t.Fatal("page counts differ between identical builds")
+	}
+	for j := range a.PatientRids {
+		if a.PatientRids[j] != b.PatientRids[j] {
+			t.Fatalf("patient %d placed differently", j)
+		}
+	}
+	if a.Load.Elapsed != b.Load.Elapsed {
+		t.Fatalf("load times differ: %v vs %v", a.Load.Elapsed, b.Load.Elapsed)
+	}
+}
+
+func TestIndexAfterLoadReportsRelocations(t *testing.T) {
+	cfg := smallConfig(ClassCluster)
+	cfg.IndexBeforeLoad = false
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Load.Relocations == 0 {
+		t.Fatal("post-load indexing reported no relocations")
+	}
+	checkDataset(t, d)
+}
+
+func TestStandardModeLoadsSlower(t *testing.T) {
+	fast := smallConfig(ClassCluster)
+	slow := smallConfig(ClassCluster)
+	slow.TxnMode = txn.Standard
+	slow.CreateBudget = 50
+	df, err := Generate(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Generate(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Load.Elapsed <= df.Load.Elapsed {
+		t.Fatalf("standard load (%v) not slower than txn-off (%v)", ds.Load.Elapsed, df.Load.Elapsed)
+	}
+	if ds.Load.Commits == 0 {
+		t.Fatal("standard load never committed")
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := smallConfig(Clustering(99))
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("unknown clustering accepted")
+	}
+}
+
+func TestRelationshipLabel(t *testing.T) {
+	d, err := Generate(smallConfig(ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Relationship(); got != "1:4" {
+		t.Fatalf("Relationship = %q", got)
+	}
+	if ClassCluster.String() != "class" || RandomOrg.String() != "random" ||
+		CompositionCluster.String() != "composition" || Clustering(9).String() == "" {
+		t.Fatal("clustering names")
+	}
+}
+
+// TestAssignmentDistribution checks the §2 statistics: each patient draws
+// its provider uniformly, so family sizes follow a binomial around the
+// average and "an average of 3 patients per doctor" holds exactly in
+// expectation.
+func TestAssignmentDistribution(t *testing.T) {
+	d, err := Generate(DefaultConfig(500, 3, ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[int]int) // family size → providers
+	clientsIdx := d.Providers.Class.AttrIndex("clients")
+	total := 0
+	for _, prid := range d.ProviderRids {
+		rec, _ := storage.Get(d.DB.Client, prid)
+		v, _ := object.DecodeAttr(d.Providers.Class, rec, clientsIdx)
+		n, err := collection.Len(d.DB.Client, v.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[n]++
+		total += n
+	}
+	if total != d.NumPatients {
+		t.Fatalf("families cover %d patients", total)
+	}
+	// Binomial(1500, 1/500): mean 3, so sizes 0..8 all occur with real
+	// probability; a fixed-3 generator would put everything in sizes[3].
+	if sizes[3] > d.NumProviders*9/10 {
+		t.Fatalf("family sizes look constant: %v", sizes)
+	}
+	if sizes[0] == 0 && sizes[1] == 0 {
+		t.Fatalf("no small families at all: %v", sizes)
+	}
+	// And the bulk is near the mean.
+	near := sizes[2] + sizes[3] + sizes[4]
+	if near < d.NumProviders/3 {
+		t.Fatalf("distribution not centered on 3: %v", sizes)
+	}
+}
+
+// TestNumIsDensePermutation pins the property the selectivity arithmetic
+// relies on: num is a permutation of 1..N.
+func TestNumIsDensePermutation(t *testing.T) {
+	d, err := Generate(smallConfig(ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	numIdx := d.Patients.Class.AttrIndex("num")
+	seen := make([]bool, d.NumPatients+1)
+	for _, prid := range d.PatientRids {
+		rec, _ := storage.Get(d.DB.Client, prid)
+		v, _ := object.DecodeAttr(d.Patients.Class, rec, numIdx)
+		if v.Int < 1 || v.Int > int64(d.NumPatients) || seen[v.Int] {
+			t.Fatalf("num %d out of range or duplicated", v.Int)
+		}
+		seen[v.Int] = true
+	}
+}
+
+// TestSeedChangesLayout: a different seed produces a different association.
+func TestSeedChangesLayout(t *testing.T) {
+	cfg := smallConfig(ClassCluster)
+	a, _ := Generate(cfg)
+	cfg.Seed = 2024
+	b, _ := Generate(cfg)
+	pcp := a.Patients.Class.AttrIndex("primary_care_provider")
+	diff := 0
+	for j := range a.PatientRids {
+		ra, _ := storage.Get(a.DB.Client, a.PatientRids[j])
+		rb, _ := storage.Get(b.DB.Client, b.PatientRids[j])
+		va, _ := object.DecodeAttr(a.Patients.Class, ra, pcp)
+		vb, _ := object.DecodeAttr(b.Patients.Class, rb, pcp)
+		if va.Ref != vb.Ref {
+			diff++
+		}
+	}
+	if diff < len(a.PatientRids)/2 {
+		t.Fatalf("only %d/%d assignments changed with the seed", diff, len(a.PatientRids))
+	}
+}

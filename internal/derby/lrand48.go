@@ -1,0 +1,53 @@
+// Package derby builds the paper's databases: the (reduced) 1997 Derby
+// schema of providers and patients (§2, Figure 1), populated at 2,000×1,000
+// or 1,000,000×3 scale under the three physical organizations of Figure 2,
+// with the randomized doctor–patient association of §3.2.
+package derby
+
+// LRand48 is a Go port of the Unix lrand48(3) generator the paper used to
+// randomize the doctor–patient relationship: the 48-bit linear congruential
+// generator X' = (0x5DEECE66D·X + 0xB) mod 2⁴⁸, returning the top 31 bits.
+// Using the same generator family keeps the data deterministic and
+// documents exactly where the paper's randomness came from.
+type LRand48 struct {
+	x uint64
+}
+
+const (
+	lcgA    = 0x5DEECE66D
+	lcgC    = 0xB
+	lcgMask = 1<<48 - 1
+)
+
+// NewLRand48 seeds the generator the way srand48 does: the seed becomes the
+// high 32 bits, the low 16 bits are 0x330E.
+func NewLRand48(seed int32) *LRand48 {
+	return &LRand48{x: uint64(uint32(seed))<<16 | 0x330E}
+}
+
+// Next returns the next non-negative 31-bit value, like lrand48.
+func (r *LRand48) Next() int64 {
+	r.x = (lcgA*r.x + lcgC) & lcgMask
+	return int64(r.x >> 17)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *LRand48) Intn(n int) int {
+	if n <= 0 {
+		panic("derby: Intn with non-positive bound")
+	}
+	return int(r.Next() % int64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n) via Fisher–Yates.
+func (r *LRand48) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

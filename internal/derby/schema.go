@@ -1,0 +1,46 @@
+package derby
+
+import (
+	"fmt"
+
+	"treebench/internal/object"
+)
+
+// ProviderClass returns the Figure 1 Provider class: name, upin, address,
+// specialty, office, clients. Strings are 16 characters, as the paper sizes
+// them.
+func ProviderClass() *object.Class {
+	return object.NewClass("Provider", []object.Attr{
+		{Name: "name", Kind: object.KindString, StrLen: 16},
+		{Name: "upin", Kind: object.KindInt},
+		{Name: "address", Kind: object.KindString, StrLen: 16},
+		{Name: "specialty", Kind: object.KindString, StrLen: 16},
+		{Name: "office", Kind: object.KindString, StrLen: 16},
+		{Name: "clients", Kind: object.KindSet},
+	})
+}
+
+// PatientClass returns the Figure 1 Patient class: name, mrn, age, sex,
+// random_integer, num, primary_care_provider.
+func PatientClass() *object.Class {
+	return object.NewClass("Patient", []object.Attr{
+		{Name: "name", Kind: object.KindString, StrLen: 16},
+		{Name: "mrn", Kind: object.KindInt},
+		{Name: "age", Kind: object.KindInt},
+		{Name: "sex", Kind: object.KindChar},
+		{Name: "random_integer", Kind: object.KindInt},
+		{Name: "num", Kind: object.KindInt},
+		{Name: "primary_care_provider", Kind: object.KindRef},
+	})
+}
+
+// providerName formats the i-th provider's name within 16 characters.
+func providerName(i int) string { return fmt.Sprintf("doc-%08d", i) }
+
+// patientName formats the j-th patient's name within 16 characters.
+func patientName(j int) string { return fmt.Sprintf("pat-%08d", j) }
+
+var specialties = [...]string{
+	"cardiology", "dermatology", "neurology", "oncology",
+	"pediatrics", "radiology", "surgery", "psychiatry",
+}

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"treebench/internal/object"
+	"treebench/internal/storage"
+)
+
+func TestEvolveClassLazyDefaults(t *testing.T) {
+	db := newDB(t)
+	e, _ := db.CreateExtent("Items", itemClass(), "items")
+	var rids []storage.Rid
+	for i := 0; i < 100; i++ {
+		rid, err := db.Insert(nil, e, itemValues(int64(i), int64(i), "old"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+
+	// Evolve: add a rating with default 5.
+	if err := db.EvolveClass(e, object.Attr{Name: "rating", Kind: object.KindInt}, object.IntValue(5)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Class.Epoch() != 1 {
+		t.Fatalf("epoch = %d", e.Class.Epoch())
+	}
+	// Old records answer reads with the default, lazily.
+	rec, _ := storage.Get(db.Client, rids[0])
+	v, err := object.DecodeAttr(e.Class, rec, e.Class.AttrIndex("rating"))
+	if err != nil || v.Int != 5 {
+		t.Fatalf("default read: %v (%v)", v, err)
+	}
+	// Old attributes still decode from old records.
+	v, err = object.DecodeAttr(e.Class, rec, e.Class.AttrIndex("score"))
+	if err != nil || v.Int != 0 {
+		t.Fatalf("old attr after evolution: %v (%v)", v, err)
+	}
+	// Writing the new attribute into a stale record is refused.
+	err = object.EncodeAttrInPlace(e.Class, rec, e.Class.AttrIndex("rating"), object.IntValue(9))
+	if !errors.Is(err, object.ErrStaleRecord) {
+		t.Fatalf("stale write: %v", err)
+	}
+
+	// New inserts carry the new attribute physically.
+	newRid, err := db.Insert(nil, e, append(itemValues(101, 101, "new"), object.IntValue(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = storage.Get(db.Client, newRid)
+	if object.RecordEpoch(rec) != 1 {
+		t.Fatalf("new record epoch = %d", object.RecordEpoch(rec))
+	}
+	v, _ = object.DecodeAttr(e.Class, rec, e.Class.AttrIndex("rating"))
+	if v.Int != 7 {
+		t.Fatalf("new record rating = %d", v.Int)
+	}
+}
+
+func TestEvolveDuplicateAndBadDefault(t *testing.T) {
+	db := newDB(t)
+	e, _ := db.CreateExtent("Items", itemClass(), "items")
+	if err := db.EvolveClass(e, object.Attr{Name: "score", Kind: object.KindInt}, object.IntValue(0)); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if err := db.EvolveClass(e, object.Attr{Name: "tag", Kind: object.KindString, StrLen: 8}, object.IntValue(0)); err == nil {
+		t.Fatal("mismatched default accepted")
+	}
+}
+
+func TestUpgradeObjectAndExtent(t *testing.T) {
+	db := newDB(t)
+	e, _ := db.CreateExtent("Items", itemClass(), "items")
+	for i := 0; i < 500; i++ {
+		db.Insert(nil, e, itemValues(int64(i), int64(i), "x"))
+	}
+	db.EvolveClass(e, object.Attr{Name: "rating", Kind: object.KindInt}, object.IntValue(5))
+	db.EvolveClass(e, object.Attr{Name: "notes", Kind: object.KindString, StrLen: 32}, object.StringValue("n/a"))
+
+	upgraded, relocated, err := db.UpgradeExtent(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upgraded != 500 {
+		t.Fatalf("upgraded %d, want 500", upgraded)
+	}
+	// Each record grew by 36 bytes; the page reserve (and the space each
+	// departing record frees for its neighbours) absorbs some, but a
+	// large fraction relocates — evolution's relocation storm.
+	if relocated < 150 {
+		t.Fatalf("only %d relocations", relocated)
+	}
+	// Everything is now writable at the new epoch and reads real values.
+	count := 0
+	err = e.File.Scan(db.Client, func(rid storage.Rid, rec []byte) (bool, error) {
+		if object.ClassID(rec) != e.Class.ID {
+			return true, nil
+		}
+		if object.RecordEpoch(rec) != e.Class.Epoch() {
+			return false, errors.New("stale record survived UpgradeExtent")
+		}
+		v, err := object.DecodeAttr(e.Class, rec, e.Class.AttrIndex("notes"))
+		if err != nil || v.Str != "n/a" {
+			return false, errors.New("upgraded default wrong")
+		}
+		count++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 500 {
+		t.Fatalf("scan saw %d records", count)
+	}
+	// Idempotent.
+	upgraded, _, err = db.UpgradeExtent(nil, e)
+	if err != nil || upgraded != 0 {
+		t.Fatalf("second upgrade: %d (%v)", upgraded, err)
+	}
+}
+
+func TestUpgradePreservesIndexMembership(t *testing.T) {
+	db := newDB(t)
+	e, _ := db.CreateExtent("Items", itemClass(), "items")
+	ix, _, err := db.CreateIndex(e, "score", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		db.Insert(nil, e, itemValues(int64(i), int64(i), "x"))
+	}
+	db.EvolveClass(e, object.Attr{Name: "rating", Kind: object.KindInt}, object.IntValue(1))
+	if _, _, err := db.UpgradeExtent(nil, e); err != nil {
+		t.Fatal(err)
+	}
+	// The index still resolves through the forwarding stubs, and the
+	// upgraded records still carry their membership.
+	rids, err := ix.Tree.Lookup(db.Client, 123)
+	if err != nil || len(rids) != 1 {
+		t.Fatalf("lookup after upgrade: %v %v", rids, err)
+	}
+	rec, err := storage.Get(db.Client, rids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := object.IndexRefs(rec)
+	if len(refs) != 1 || refs[0] != ix.Tree.ID {
+		t.Fatalf("membership lost: %v", refs)
+	}
+	v, _ := object.DecodeAttr(e.Class, rec, e.Class.AttrIndex("score"))
+	if v.Int != 123 {
+		t.Fatalf("score = %d", v.Int)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	db := newDB(t)
+	e, _ := db.CreateExtent("Items", itemClass(), "items")
+	rid, _ := db.Insert(nil, e, itemValues(1, 10, "v1"))
+
+	// No versions yet.
+	vs, err := db.Versions(rid)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("fresh object versions: %v (%v)", vs, err)
+	}
+
+	// Snapshot, mutate, snapshot, mutate.
+	n, err := db.CreateVersion(nil, e, rid)
+	if err != nil || n != 1 {
+		t.Fatalf("first version: %d (%v)", n, err)
+	}
+	if err := db.UpdateAttr(nil, e, rid, "label", object.StringValue("v2")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = db.CreateVersion(nil, e, rid)
+	if err != nil || n != 2 {
+		t.Fatalf("second version: %d (%v)", n, err)
+	}
+	if err := db.UpdateAttr(nil, e, rid, "label", object.StringValue("v3")); err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err = db.Versions(rid)
+	if err != nil || len(vs) != 2 {
+		t.Fatalf("versions: %v (%v)", vs, err)
+	}
+	for i, want := range []string{"v1", "v2"} {
+		if vs[i].Number != uint32(i+1) {
+			t.Fatalf("version %d numbered %d", i, vs[i].Number)
+		}
+		v, err := db.ReadVersionAttr(e, vs[i], "label")
+		if err != nil || v.Str != want {
+			t.Fatalf("version %d label = %v (%v), want %q", i+1, v, err, want)
+		}
+	}
+	// The live object carries the latest state.
+	h, _ := db.Handles.Get(rid)
+	v, _ := db.Handles.AttrByName(h, "label")
+	if v.Str != "v3" {
+		t.Fatalf("live label = %q", v.Str)
+	}
+	db.Handles.Unref(h)
+
+	// Versions of another object do not leak in.
+	rid2, _ := db.Insert(nil, e, itemValues(2, 20, "other"))
+	if _, err := db.CreateVersion(nil, e, rid2); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ = db.Versions(rid)
+	if len(vs) != 2 {
+		t.Fatalf("cross-object leak: %v", vs)
+	}
+	if _, err := db.ReadVersionAttr(e, vs[0], "nope"); err == nil {
+		t.Fatal("bad attr accepted")
+	}
+}
+
+func TestVersionSurvivesEvolution(t *testing.T) {
+	db := newDB(t)
+	e, _ := db.CreateExtent("Items", itemClass(), "items")
+	rid, _ := db.Insert(nil, e, itemValues(1, 10, "before"))
+	if _, err := db.CreateVersion(nil, e, rid); err != nil {
+		t.Fatal(err)
+	}
+	db.EvolveClass(e, object.Attr{Name: "rating", Kind: object.KindInt}, object.IntValue(5))
+	vs, _ := db.Versions(rid)
+	// The snapshot predates the attribute: it reads the default.
+	v, err := db.ReadVersionAttr(e, vs[0], "rating")
+	if err != nil || v.Int != 5 {
+		t.Fatalf("snapshot rating = %v (%v)", v, err)
+	}
+	v, err = db.ReadVersionAttr(e, vs[0], "label")
+	if err != nil || v.Str != "before" {
+		t.Fatalf("snapshot label = %v (%v)", v, err)
+	}
+}
+
+func TestReadVersionAttrBadVersion(t *testing.T) {
+	db := newDB(t)
+	e, _ := db.CreateExtent("Items", itemClass(), "items")
+	bad := VersionInfo{Number: 1, Snapshot: storage.Rid{Page: 999, Slot: 0}}
+	if _, err := db.ReadVersionAttr(e, bad, "score"); err == nil {
+		t.Fatal("dangling snapshot accepted")
+	}
+}

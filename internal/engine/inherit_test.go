@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"testing"
+
+	"treebench/internal/object"
+	"treebench/internal/storage"
+)
+
+func TestSubclassLayoutAndRegistry(t *testing.T) {
+	base := object.NewClass("Shape", []object.Attr{
+		{Name: "id", Kind: object.KindInt},
+		{Name: "area", Kind: object.KindInt},
+	})
+	circle, err := object.NewSubclass("Circle", base, []object.Attr{
+		{Name: "radius", Kind: object.KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !circle.IsSubclassOf(base) || base.IsSubclassOf(circle) {
+		t.Fatal("subclass relation broken")
+	}
+	if circle.Parent() != base || len(base.Subclasses()) != 1 {
+		t.Fatal("links broken")
+	}
+	// Redeclared attribute and evolved parent are rejected.
+	if _, err := object.NewSubclass("Bad", base, []object.Attr{{Name: "area", Kind: object.KindInt}}); err == nil {
+		t.Fatal("redeclaration accepted")
+	}
+	if err := base.AddAttr(object.Attr{Name: "color", Kind: object.KindInt}, object.IntValue(0)); err == nil {
+		t.Fatal("evolving a class with subclasses accepted")
+	}
+	evolved := object.NewClass("Evolved", nil)
+	if err := evolved.AddAttr(object.Attr{Name: "x", Kind: object.KindInt}, object.IntValue(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := object.NewSubclass("Sub", evolved, nil); err == nil {
+		t.Fatal("deriving from an evolved class accepted")
+	}
+	if _, err := object.NewSubclass("Orphan", nil, nil); err == nil {
+		t.Fatal("nil parent accepted")
+	}
+}
+
+func TestPolymorphicExtent(t *testing.T) {
+	db := newDB(t)
+	base := object.NewClass("Shape", []object.Attr{
+		{Name: "id", Kind: object.KindInt},
+		{Name: "area", Kind: object.KindInt},
+	})
+	circle, _ := object.NewSubclass("Circle", base, []object.Attr{
+		{Name: "radius", Kind: object.KindInt},
+	})
+	shapes, err := db.CreateExtent("Shapes", base, "shapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.CreateIndex(shapes, "area", false); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed population: plain shapes and circles through one extent.
+	var circleRid storage.Rid
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			if _, err := db.Insert(nil, shapes, []object.Value{
+				object.IntValue(int64(i)), object.IntValue(int64(i * 10)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		rid, err := db.InsertAs(nil, shapes, circle, []object.Value{
+			object.IntValue(int64(i)), object.IntValue(int64(i * 10)), object.IntValue(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		circleRid = rid
+	}
+	if shapes.Count != 100 {
+		t.Fatalf("Count = %d", shapes.Count)
+	}
+	// The area index covers both kinds.
+	ix := db.IndexOn("Shapes", "area")
+	if rids, _ := ix.Tree.Lookup(db.Client, 510); len(rids) != 1 {
+		t.Fatal("subclass object missing from the extent index")
+	}
+	// A full scan over the extent sees every instance (the selection
+	// operators share this Belongs-based filter)...
+	seen := 0
+	err = shapes.File.Scan(db.Client, func(_ storage.Rid, rec []byte) (bool, error) {
+		if db.Classes.Belongs(object.ClassID(rec), base) {
+			seen++
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 100 {
+		t.Fatalf("polymorphic scan saw %d rows", seen)
+	}
+	// ...and base-class decoding works on subclass records (prefix
+	// layout), while the exact type is preserved for subclass reads.
+	rec, err := storage.Get(db.Client, circleRid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Classes.ByID(object.ClassID(rec)) != circle {
+		t.Fatal("exact type lost")
+	}
+	v, err := object.DecodeAttr(base, rec, base.AttrIndex("area"))
+	if err != nil || v.Int != 990 {
+		t.Fatalf("base-class decode of subclass record: %v (%v)", v, err)
+	}
+	v, err = object.DecodeAttr(circle, rec, circle.AttrIndex("radius"))
+	if err != nil || v.Int != 99 {
+		t.Fatalf("subclass decode: %v (%v)", v, err)
+	}
+	// Inserting an unrelated class through the extent is rejected.
+	other := object.NewClass("Other", []object.Attr{{Name: "x", Kind: object.KindInt}})
+	if _, err := db.InsertAs(nil, shapes, other, []object.Value{object.IntValue(1)}); err == nil {
+		t.Fatal("foreign class accepted")
+	}
+}
+
+func TestSubclassHandleAccess(t *testing.T) {
+	db := newDB(t)
+	base := object.NewClass("Animal", []object.Attr{
+		{Name: "legs", Kind: object.KindInt},
+	})
+	dog, _ := object.NewSubclass("Dog", base, []object.Attr{
+		{Name: "name", Kind: object.KindString, StrLen: 16},
+	})
+	animals, _ := db.CreateExtent("Animals", base, "animals")
+	rid, err := db.InsertAs(nil, animals, dog, []object.Value{
+		object.IntValue(4), object.StringValue("Rex"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handle resolves the exact type, so subclass attributes are
+	// reachable through it.
+	h, err := db.Handles.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Handles.Unref(h)
+	if h.Class() != dog {
+		t.Fatalf("handle class = %s", h.Class().Name)
+	}
+	v, err := db.Handles.AttrByName(h, "name")
+	if err != nil || v.Str != "Rex" {
+		t.Fatalf("name = %v (%v)", v, err)
+	}
+	v, err = db.Handles.AttrByName(h, "legs")
+	if err != nil || v.Int != 4 {
+		t.Fatalf("legs = %v (%v)", v, err)
+	}
+}

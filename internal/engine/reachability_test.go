@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"testing"
+
+	"treebench/internal/collection"
+	"treebench/internal/object"
+	"treebench/internal/storage"
+)
+
+// reachEnv builds a two-class graph: folders with a set of files, plus
+// some files referenced by nothing.
+func reachEnv(t *testing.T) (*Database, *Extent, *Extent, []storage.Rid, []storage.Rid) {
+	t.Helper()
+	db := newDB(t)
+	fileCls := object.NewClass("File", []object.Attr{
+		{Name: "id", Kind: object.KindInt},
+		{Name: "size", Kind: object.KindInt},
+	})
+	folderCls := object.NewClass("Folder", []object.Attr{
+		{Name: "id", Kind: object.KindInt},
+		{Name: "entries", Kind: object.KindSet},
+	})
+	files, err := db.CreateExtent("Files", fileCls, "files")
+	if err != nil {
+		t.Fatal(err)
+	}
+	folders, err := db.CreateExtent("Folders", folderCls, "folders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.CreateIndex(files, "size", false); err != nil {
+		t.Fatal(err)
+	}
+
+	var fileRids []storage.Rid
+	for i := 0; i < 30; i++ {
+		rid, err := db.Insert(nil, files, []object.Value{
+			object.IntValue(int64(i)), object.IntValue(int64(i * 10)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileRids = append(fileRids, rid)
+	}
+	// Folder 0 holds files 0..9, folder 1 holds files 10..19; files
+	// 20..29 are attached to nothing.
+	var folderRids []storage.Rid
+	for f := 0; f < 2; f++ {
+		head, err := collection.Create(db.Client, folders.File, fileRids[f*10:(f+1)*10])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := db.Insert(nil, folders, []object.Value{
+			object.IntValue(int64(f)), object.SetValue(head),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		folderRids = append(folderRids, rid)
+	}
+	return db, files, folders, fileRids, folderRids
+}
+
+func TestSweepReachability(t *testing.T) {
+	db, _, _, _, folderRids := reachEnv(t)
+	db.SetRoot("root0", folderRids[0])
+	db.SetRoot("root1", folderRids[1])
+	rep, err := db.SweepReachability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 folders + 20 files reachable; 10 files garbage.
+	if rep.Reachable != 22 {
+		t.Fatalf("reachable = %d, want 22", rep.Reachable)
+	}
+	if rep.Garbage != 10 {
+		t.Fatalf("garbage = %d, want 10", rep.Garbage)
+	}
+	if rep.Collected != 0 {
+		t.Fatal("mark-only sweep collected")
+	}
+	// Dropping a root grows the garbage.
+	db.RemoveRoot("root1")
+	rep, err = db.SweepReachability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reachable != 11 || rep.Garbage != 21 {
+		t.Fatalf("after root removal: %+v", rep)
+	}
+	if len(db.Roots()) != 1 {
+		t.Fatalf("roots: %v", db.Roots())
+	}
+}
+
+func TestCollectGarbageMaintainsIndexes(t *testing.T) {
+	db, files, folders, fileRids, folderRids := reachEnv(t)
+	db.SetRoot("root0", folderRids[0])
+	db.SetRoot("root1", folderRids[1])
+
+	rep, err := db.CollectGarbage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Collected != 10 {
+		t.Fatalf("collected = %d, want 10", rep.Collected)
+	}
+	if rep.IndexEntriesRemoved != 10 {
+		t.Fatalf("index entries removed = %d, want 10", rep.IndexEntriesRemoved)
+	}
+	if files.Count != 20 || folders.Count != 2 {
+		t.Fatalf("counts after GC: files=%d folders=%d", files.Count, folders.Count)
+	}
+	// Collected records are gone...
+	if _, err := storage.Get(db.Client, fileRids[25]); err == nil {
+		t.Fatal("garbage file still readable")
+	}
+	// ...and their index entries too: file 25 had size 250.
+	ix := db.IndexOn("Files", "size")
+	if rids, _ := ix.Tree.Lookup(db.Client, 250); len(rids) != 0 {
+		t.Fatalf("stale index entry: %v", rids)
+	}
+	// Survivors intact, index consistent.
+	if rids, _ := ix.Tree.Lookup(db.Client, 150); len(rids) != 1 || rids[0] != fileRids[15] {
+		t.Fatal("survivor lost")
+	}
+	if err := ix.Tree.Validate(db.Client); err != nil {
+		t.Fatal(err)
+	}
+	// A second collection finds nothing.
+	rep, err = db.CollectGarbage()
+	if err != nil || rep.Collected != 0 {
+		t.Fatalf("second GC: %+v (%v)", rep, err)
+	}
+}
+
+func TestSweepWithNoRoots(t *testing.T) {
+	db, files, folders, _, _ := reachEnv(t)
+	rep, err := db.SweepReachability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reachable != 0 || rep.Garbage != files.Count+folders.Count {
+		t.Fatalf("rootless sweep: %+v", rep)
+	}
+}
+
+func TestSweepHandlesCycles(t *testing.T) {
+	// Two objects referencing each other must not loop the sweep.
+	db := newDB(t)
+	cls := object.NewClass("Node", []object.Attr{
+		{Name: "id", Kind: object.KindInt},
+		{Name: "next", Kind: object.KindRef},
+	})
+	nodes, _ := db.CreateExtent("Nodes", cls, "nodes")
+	a, _ := db.Insert(nil, nodes, []object.Value{object.IntValue(1), object.RefValue(storage.NilRid)})
+	b, _ := db.Insert(nil, nodes, []object.Value{object.IntValue(2), object.RefValue(a)})
+	if err := db.UpdateAttr(nil, nodes, a, "next", object.RefValue(b)); err != nil {
+		t.Fatal(err)
+	}
+	db.SetRoot("cycle", a)
+	rep, err := db.SweepReachability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reachable != 2 || rep.Garbage != 0 {
+		t.Fatalf("cycle sweep: %+v", rep)
+	}
+}

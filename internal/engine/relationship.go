@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"fmt"
+
+	"treebench/internal/collection"
+	"treebench/internal/object"
+	"treebench/internal/storage"
+	"treebench/internal/txn"
+)
+
+// ODMG relationships: the paper's schema declares `clients: set(Patient)`
+// against `primary_care_provider: Provider` — a 1-n relationship whose two
+// sides the ODMG binding keeps consistent automatically ("O2 implements
+// the full ODMG data model"). A defined relationship makes SetParent
+// maintain the back reference, both collections, and any index on the
+// reference attribute in one operation.
+
+// Relationship binds a parent set attribute to its inverse child
+// reference.
+type Relationship struct {
+	Parent  *Extent
+	SetAttr string
+	Child   *Extent
+	RefAttr string
+
+	setIdx int
+	refIdx int
+}
+
+// DefineRelationship declares the 1-n relationship between
+// parent.setAttr and child.refAttr.
+func (db *Database) DefineRelationship(parent *Extent, setAttr string, child *Extent, refAttr string) (*Relationship, error) {
+	si := parent.Class.AttrIndex(setAttr)
+	if si < 0 || parent.Class.Attrs[si].Kind != object.KindSet {
+		return nil, fmt.Errorf("engine: %s.%s is not a set attribute", parent.Class.Name, setAttr)
+	}
+	ri := child.Class.AttrIndex(refAttr)
+	if ri < 0 || child.Class.Attrs[ri].Kind != object.KindRef {
+		return nil, fmt.Errorf("engine: %s.%s is not a reference attribute", child.Class.Name, refAttr)
+	}
+	rel := &Relationship{
+		Parent: parent, SetAttr: setAttr, Child: child, RefAttr: refAttr,
+		setIdx: si, refIdx: ri,
+	}
+	db.relationships = append(db.relationships, rel)
+	return rel, nil
+}
+
+// setHead reads a parent's collection head, creating an empty collection
+// in the parent's file if the attribute is still nil.
+func (db *Database) setHead(rel *Relationship, parentRid storage.Rid) (storage.Rid, error) {
+	rec, err := storage.Get(db.Client, parentRid)
+	if err != nil {
+		return storage.Rid{}, err
+	}
+	v, err := object.DecodeAttr(rel.Parent.Class, rec, rel.setIdx)
+	if err != nil {
+		return storage.Rid{}, err
+	}
+	if !v.Ref.IsNil() {
+		return v.Ref, nil
+	}
+	head, err := collection.Create(db.Client, rel.Parent.File, nil)
+	if err != nil {
+		return storage.Rid{}, err
+	}
+	if err := object.EncodeAttrInPlace(rel.Parent.Class, rec, rel.setIdx, object.SetValue(head)); err != nil {
+		return storage.Rid{}, err
+	}
+	return head, db.Client.Write(parentRid.Page)
+}
+
+// SetParent moves the child to a new parent (NilRid detaches it),
+// maintaining both relationship sides and any index on the reference
+// attribute. It is the engine's version of §4.4's retire-a-doctor update
+// done *correctly* — the clients sets never go stale.
+func (rel *Relationship) SetParent(db *Database, tx *txn.Txn, childRid, newParent storage.Rid) error {
+	rec, err := storage.Get(db.Client, childRid)
+	if err != nil {
+		return err
+	}
+	old, err := object.DecodeAttr(rel.Child.Class, rec, rel.refIdx)
+	if err != nil {
+		return err
+	}
+	if old.Ref == newParent {
+		return nil
+	}
+	// Detach from the old parent's set.
+	if !old.Ref.IsNil() {
+		head, err := rel.headOf(db, old.Ref)
+		if err != nil {
+			return err
+		}
+		if !head.IsNil() {
+			if _, err := collection.Remove(db.Client, rel.Parent.File, head, childRid); err != nil {
+				return err
+			}
+		}
+	}
+	// Flip the reference (UpdateAttr maintains any index on it).
+	if err := db.UpdateAttr(tx, rel.Child, childRid, rel.RefAttr, object.RefValue(newParent)); err != nil {
+		return err
+	}
+	// Attach to the new parent's set.
+	if !newParent.IsNil() {
+		head, err := db.setHead(rel, newParent)
+		if err != nil {
+			return err
+		}
+		if err := collection.Add(db.Client, rel.Parent.File, head, childRid); err != nil {
+			return err
+		}
+	}
+	if tx != nil {
+		if err := tx.NoteUpdate(len(rec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// headOf reads a parent's set head without creating one.
+func (rel *Relationship) headOf(db *Database, parentRid storage.Rid) (storage.Rid, error) {
+	rec, err := storage.Get(db.Client, parentRid)
+	if err != nil {
+		return storage.Rid{}, err
+	}
+	v, err := object.DecodeAttr(rel.Parent.Class, rec, rel.setIdx)
+	if err != nil {
+		return storage.Rid{}, err
+	}
+	return v.Ref, nil
+}
+
+// Children lists the child rids of a parent through the relationship.
+func (rel *Relationship) Children(db *Database, parentRid storage.Rid) ([]storage.Rid, error) {
+	head, err := rel.headOf(db, parentRid)
+	if err != nil || head.IsNil() {
+		return nil, err
+	}
+	return collection.Elems(db.Client, head)
+}
+
+// VerifyConsistency checks both relationship sides agree: every child's
+// reference matches exactly one membership, and every set member points
+// back. It is diagnostic support for tests and the shell.
+func (rel *Relationship) VerifyConsistency(db *Database) error {
+	// Forward: each parent's members point back at it.
+	memberships := make(map[storage.Rid]storage.Rid)
+	err := rel.Parent.File.Scan(db.Client, func(prid storage.Rid, rec []byte) (bool, error) {
+		if !db.Classes.Belongs(object.ClassID(rec), rel.Parent.Class) {
+			return true, nil
+		}
+		v, err := object.DecodeAttr(rel.Parent.Class, rec, rel.setIdx)
+		if err != nil {
+			return false, err
+		}
+		if v.Ref.IsNil() {
+			return true, nil
+		}
+		return true, collection.Scan(db.Client, v.Ref, func(m storage.Rid) (bool, error) {
+			if owner, dup := memberships[m]; dup {
+				return false, fmt.Errorf("engine: child %s in two sets (%s and %s)", m, owner, prid)
+			}
+			memberships[m] = prid
+			mrec, err := storage.Get(db.Client, m)
+			if err != nil {
+				return false, err
+			}
+			back, err := object.DecodeAttr(rel.Child.Class, mrec, rel.refIdx)
+			if err != nil {
+				return false, err
+			}
+			if back.Ref != prid {
+				return false, fmt.Errorf("engine: child %s in %s's set but references %s", m, prid, back.Ref)
+			}
+			return true, nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	// Backward: each referencing child is a member.
+	return rel.Child.File.Scan(db.Client, func(crid storage.Rid, rec []byte) (bool, error) {
+		if !db.Classes.Belongs(object.ClassID(rec), rel.Child.Class) {
+			return true, nil
+		}
+		v, err := object.DecodeAttr(rel.Child.Class, rec, rel.refIdx)
+		if err != nil {
+			return false, err
+		}
+		if v.Ref.IsNil() {
+			return true, nil
+		}
+		if memberships[crid] != v.Ref {
+			return false, fmt.Errorf("engine: child %s references %s but is not in its set", crid, v.Ref)
+		}
+		return true, nil
+	})
+}

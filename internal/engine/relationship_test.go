@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"testing"
+
+	"treebench/internal/object"
+	"treebench/internal/storage"
+)
+
+// relEnv builds teams with players (1-n) plus the relationship binding.
+func relEnv(t *testing.T) (*Database, *Relationship, []storage.Rid, []storage.Rid) {
+	t.Helper()
+	db := newDB(t)
+	teamCls := object.NewClass("Team", []object.Attr{
+		{Name: "id", Kind: object.KindInt},
+		{Name: "players", Kind: object.KindSet},
+	})
+	playerCls := object.NewClass("Player", []object.Attr{
+		{Name: "id", Kind: object.KindInt},
+		{Name: "team", Kind: object.KindRef},
+	})
+	teams, _ := db.CreateExtent("Teams", teamCls, "teams")
+	players, _ := db.CreateExtent("Players", playerCls, "players")
+	// Index players by team: exercised by every SetParent.
+	if _, _, err := db.CreateIndex(players, "team", false); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.DefineRelationship(teams, "players", players, "team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var teamRids, playerRids []storage.Rid
+	for i := 0; i < 3; i++ {
+		rid, _ := db.Insert(nil, teams, []object.Value{
+			object.IntValue(int64(i)), object.SetValue(storage.NilRid),
+		})
+		teamRids = append(teamRids, rid)
+	}
+	for i := 0; i < 30; i++ {
+		rid, _ := db.Insert(nil, players, []object.Value{
+			object.IntValue(int64(i)), object.RefValue(storage.NilRid),
+		})
+		playerRids = append(playerRids, rid)
+	}
+	return db, rel, teamRids, playerRids
+}
+
+func TestDefineRelationshipValidation(t *testing.T) {
+	db, rel, _, _ := relEnv(t)
+	_ = rel
+	teams, _ := db.Extent("Teams")
+	players, _ := db.Extent("Players")
+	if _, err := db.DefineRelationship(teams, "id", players, "team"); err == nil {
+		t.Fatal("non-set parent attribute accepted")
+	}
+	if _, err := db.DefineRelationship(teams, "players", players, "id"); err == nil {
+		t.Fatal("non-ref child attribute accepted")
+	}
+}
+
+func TestSetParentMaintainsBothSides(t *testing.T) {
+	db, rel, teams, players := relEnv(t)
+	// Assign players round-robin.
+	for i, p := range players {
+		if err := rel.SetParent(db, nil, p, teams[i%3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rel.VerifyConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+	for i, team := range teams {
+		kids, err := rel.Children(db, team)
+		if err != nil || len(kids) != 10 {
+			t.Fatalf("team %d has %d players (%v)", i, len(kids), err)
+		}
+	}
+	// Transfer a player: both sets and the ref index must follow.
+	if err := rel.SetParent(db, nil, players[0], teams[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.VerifyConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+	kids0, _ := rel.Children(db, teams[0])
+	kids1, _ := rel.Children(db, teams[1])
+	if len(kids0) != 9 || len(kids1) != 11 {
+		t.Fatalf("after transfer: %d and %d", len(kids0), len(kids1))
+	}
+	ix := db.IndexOn("Players", "team")
+	if rids, _ := ix.Tree.Lookup(db.Client, RefKey(teams[1])); len(rids) != 11 {
+		t.Fatalf("ref index sees %d players on team 1", len(rids))
+	}
+	// Detach entirely.
+	if err := rel.SetParent(db, nil, players[0], storage.NilRid); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.VerifyConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+	kids1, _ = rel.Children(db, teams[1])
+	if len(kids1) != 10 {
+		t.Fatalf("detach left %d players", len(kids1))
+	}
+	// No-op reassignment.
+	if err := rel.SetParent(db, nil, players[1], teams[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.SetParent(db, nil, players[1], teams[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.VerifyConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyConsistencyDetectsStaleSets(t *testing.T) {
+	db, rel, teams, players := relEnv(t)
+	for _, p := range players {
+		if err := rel.SetParent(db, nil, p, teams[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one side: flip a player's ref without fixing the set.
+	if err := db.UpdateAttr(nil, rel.Child, players[5], "team", object.RefValue(teams[2])); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.VerifyConsistency(db); err == nil {
+		t.Fatal("stale relationship not detected")
+	}
+}

@@ -1,0 +1,34 @@
+package histogram
+
+import "testing"
+
+func BenchmarkBuild(b *testing.B) {
+	base := make([]int64, 100000)
+	for i := range base {
+		base[i] = int64(i * 2654435761 % 1000000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := make([]int64, len(base))
+		copy(keys, base)
+		if Build(keys, 64) == nil {
+			b.Fatal("nil histogram")
+		}
+	}
+}
+
+func BenchmarkSelectivity(b *testing.B) {
+	keys := make([]int64, 100000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	h := Build(keys, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Selectivity(int64(i%50000), int64(i%50000+10000)) < 0 {
+			b.Fatal("negative")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformKeys(t *testing.T) {
+	keys := make([]int64, 10000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	h := Build(keys, 32)
+	if h.Total() != 10000 || h.Min() != 0 || h.Max() != 9999 {
+		t.Fatalf("summary: total=%d min=%d max=%d", h.Total(), h.Min(), h.Max())
+	}
+	if got := h.Selectivity(0, 1000); math.Abs(got-0.1) > 0.02 {
+		t.Fatalf("sel[0,1000) = %v, want ≈0.1", got)
+	}
+	if got := h.Selectivity(0, 10000); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("full-range sel = %v", got)
+	}
+	if got := h.Selectivity(20000, 30000); got != 0 {
+		t.Fatalf("out-of-range sel = %v", got)
+	}
+}
+
+func TestSkewedKeysBeatUniformAssumption(t *testing.T) {
+	// 90% of keys are tiny (0..99), 10% spread to 1e6. The uniform
+	// min/max assumption estimates sel[0,100) ≈ 0.0001; the histogram
+	// must see ≈0.9.
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int64, 20000)
+	for i := range keys {
+		if i%10 != 0 {
+			keys[i] = int64(rng.Intn(100))
+		} else {
+			keys[i] = int64(rng.Intn(1_000_000))
+		}
+	}
+	h := Build(keys, 64)
+	got := h.Selectivity(0, 100)
+	if got < 0.85 || got > 0.95 {
+		t.Fatalf("skewed sel[0,100) = %v, want ≈0.9", got)
+	}
+	uniform := 100.0 / float64(h.Max()-h.Min()+1)
+	if got < uniform*100 {
+		t.Fatalf("histogram (%v) not far from uniform estimate (%v)", got, uniform)
+	}
+}
+
+func TestDuplicateRunsNotSplit(t *testing.T) {
+	// 5000 copies of one key plus a few others: every bucket boundary
+	// must be a real key value, so the big run stays estimable.
+	keys := make([]int64, 0, 5010)
+	for i := 0; i < 5000; i++ {
+		keys = append(keys, 42)
+	}
+	for i := 0; i < 10; i++ {
+		keys = append(keys, int64(100+i))
+	}
+	h := Build(keys, 16)
+	if got := h.EstimateRange(42, 43); math.Abs(got-5000) > 1 {
+		t.Fatalf("point estimate of the run = %v, want 5000", got)
+	}
+	if got := h.EstimateRange(100, 110); math.Abs(got-10) > 1 {
+		t.Fatalf("tail estimate = %v, want 10", got)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if Build(nil, 8) != nil {
+		t.Fatal("empty input should give nil")
+	}
+	var nilH *Histogram
+	if nilH.Selectivity(0, 10) != 0 || nilH.EstimateRange(0, 10) != 0 {
+		t.Fatal("nil histogram estimates must be 0")
+	}
+	h := Build([]int64{7}, 8)
+	if h.Buckets() != 1 || h.Total() != 1 {
+		t.Fatalf("single key: %d buckets, total %d", h.Buckets(), h.Total())
+	}
+	if got := h.EstimateRange(7, 8); got != 1 {
+		t.Fatalf("single-key estimate = %v", got)
+	}
+	if h.Selectivity(8, 8) != 0 {
+		t.Fatal("empty range")
+	}
+	if h.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+// Property: full-range estimates equal the total, and estimates are
+// monotone in the range.
+func TestEstimateProperties(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%2000) + 1
+		keys := make([]int64, size)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(5000)) - 2500
+		}
+		h := Build(keys, 24)
+		full := h.EstimateRange(h.Min(), h.Max()+1)
+		if math.Abs(full-float64(size)) > 1e-6 {
+			return false
+		}
+		// Monotonicity over nested ranges.
+		lo, hi := int64(-1000), int64(1000)
+		inner := h.EstimateRange(lo+100, hi-100)
+		outer := h.EstimateRange(lo, hi)
+		return inner <= outer+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

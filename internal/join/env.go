@@ -1,0 +1,24 @@
+package join
+
+import "treebench/internal/derby"
+
+// EnvForDerby wires a generated Derby dataset into the paper's §5 tree
+// query environment: providers over patients, keys upin/mrn, projection
+// f(p,pa) = [p.name, pa.age].
+func EnvForDerby(d *derby.Dataset) *Env {
+	return &Env{
+		DB:            d.DB,
+		Parent:        d.Providers,
+		Child:         d.Patients,
+		Composition:   d.Clustering == derby.CompositionCluster,
+		SetAttr:       "clients",
+		ParentRefAttr: "primary_care_provider",
+		ParentKeyAttr: "upin",
+		ChildKeyAttr:  "mrn",
+		ParentProj:    "name",
+		ChildProj:     "age",
+		ChildFKAttr:   "random_integer",
+		NumParents:    d.NumProviders,
+		NumChildren:   d.NumPatients,
+	}
+}

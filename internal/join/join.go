@@ -1,0 +1,510 @@
+// Package join implements the four evaluation strategies of §5.1 for the
+// paper's tree query
+//
+//	select f(p,pa)
+//	from p in Providers, pa in p.clients
+//	where pa.mrn < k1 and p.upin < k2
+//
+// with f(p,pa) = [p.name, pa.age]: NL (parent-to-child navigation), NOJOIN
+// (child-to-parent navigation), PHJ (hash the parents), CHJ (hash the
+// children — the pointer-based join of Shekita & Carey, modified to scan
+// the outer sequentially), plus HHJ, the hybrid-hash variant the paper
+// calls for but did not test.
+//
+// All I/O and CPU costs emerge from the layers below: index scans page in
+// index leaves, navigation faults on the cache according to the physical
+// clustering, handles charge their §4 management cost, and hash tables
+// larger than the machine's memory budget swap via sim.Region.
+package join
+
+import (
+	"fmt"
+	"time"
+
+	"treebench/internal/collection"
+	"treebench/internal/engine"
+	"treebench/internal/index"
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+)
+
+// Algorithm names one evaluation strategy.
+type Algorithm string
+
+// The §5.1 algorithms, plus the hybrid-hash extension.
+const (
+	NL     Algorithm = "NL"
+	NOJOIN Algorithm = "NOJOIN"
+	PHJ    Algorithm = "PHJ"
+	CHJ    Algorithm = "CHJ"
+	HHJ    Algorithm = "HHJ"
+	// SMJ is the sort-merge pointer join the paper tried and dropped
+	// (§5.1); kept so that decision is reproducible.
+	SMJ Algorithm = "SMJ"
+	// VNOJOIN is the value-based counterpart of NOJOIN: children resolve
+	// their parents through the parent key index instead of a physical
+	// pointer — the alternative [14] measured pointer joins against.
+	VNOJOIN Algorithm = "VNOJOIN"
+)
+
+// Algorithms lists the paper's four strategies in its reporting order.
+func Algorithms() []Algorithm { return []Algorithm{PHJ, CHJ, NOJOIN, NL} }
+
+// Hash-table memory accounting, matching the paper's Figure 10 arithmetic:
+// 64 bytes per parent entry (rid, provider information, bucket overhead)
+// and, for the children table, 64 bytes per group plus 8 bytes per child
+// payload (its age and list linkage).
+const (
+	parentEntryBytes = 64
+	groupEntryBytes  = 64
+	childEntryBytes  = 8
+)
+
+// Env describes the 1-n hierarchy a tree query runs over. The attribute
+// names parameterize the algorithms so any parent/child schema works; the
+// Derby defaults are the paper's providers and patients.
+type Env struct {
+	DB     *engine.Database
+	Parent *engine.Extent // the 1 side (providers)
+	Child  *engine.Extent // the n side (patients)
+
+	// SetAttr is the parent's collection of children ("clients");
+	// ParentRefAttr is the child's back reference ("primary_care_provider").
+	SetAttr       string
+	ParentRefAttr string
+	// ParentKeyAttr and ChildKeyAttr carry the selection predicates and
+	// must be indexed ("upin", "mrn").
+	ParentKeyAttr string
+	ChildKeyAttr  string
+	// ParentProj and ChildProj are the f(p,pa) components ("name", "age").
+	ParentProj string
+	ChildProj  string
+	// ChildFKAttr is the child's value-based foreign key — an attribute
+	// equal to the parent's key ("random_integer" = provider's upin).
+	// Only the value-based VNOJOIN uses it.
+	ChildFKAttr string
+
+	NumParents  int
+	NumChildren int
+
+	// Composition hints that children are physically clustered with
+	// their parents (Figure 2's right organization). The executor never
+	// reads it — access patterns emerge from the data — but the
+	// cost-based planner uses it to predict navigation cost.
+	Composition bool
+}
+
+// Query bounds the two selections: child.key < K1 and parent.key < K2.
+// SelChildren/SelParents carry the selectivity labels (percent) when the
+// query was built from selectivities; they are reporting metadata only.
+type Query struct {
+	K1, K2                  int64
+	SelChildren, SelParents int
+}
+
+// BySelectivity builds the §5 query keeping selChildren% of children and
+// selParents% of parents — exact, because the Derby keys are dense 1..N.
+func (env *Env) BySelectivity(selChildren, selParents int) Query {
+	return Query{
+		K1:          int64(env.NumChildren*selChildren/100) + 1,
+		K2:          int64(env.NumParents*selParents/100) + 1,
+		SelChildren: selChildren,
+		SelParents:  selParents,
+	}
+}
+
+// Tuple is one f(p,pa) result.
+type Tuple struct {
+	ProviderName string
+	PatientAge   int64
+}
+
+// Result reports one algorithm run.
+type Result struct {
+	Algorithm Algorithm
+	Query     Query
+	Tuples    int
+	Elapsed   time.Duration
+	Counters  sim.Counters
+
+	// HashTableBytes is the peak hash-table size (0 for navigation).
+	HashTableBytes int64
+	// Swapped reports whether the table exceeded the memory budget.
+	Swapped bool
+	// SpillPartitions is HHJ's partition count (1 = in-memory).
+	SpillPartitions int
+}
+
+// Run evaluates the tree query with the given algorithm on a cold system
+// (the caller is responsible for ColdRestart; Run asserts the meter starts
+// at zero to keep measurements honest).
+func Run(env *Env, algo Algorithm, q Query) (*Result, error) {
+	if env.DB.Meter.Elapsed() != 0 {
+		return nil, fmt.Errorf("join: meter not reset; call ColdRestart before Run")
+	}
+	if q.K1 < 0 || q.K2 < 0 {
+		return nil, fmt.Errorf("join: bad key bounds %+v", q)
+	}
+	var (
+		res *Result
+		err error
+	)
+	switch algo {
+	case NL:
+		res, err = runNL(env, q)
+	case NOJOIN:
+		res, err = runNOJOIN(env, q)
+	case PHJ:
+		res, err = runPHJ(env, q)
+	case CHJ:
+		res, err = runCHJ(env, q)
+	case HHJ:
+		res, err = runHHJ(env, q)
+	case SMJ:
+		res, err = runSMJ(env, q)
+	case VNOJOIN:
+		res, err = runVNOJOIN(env, q)
+	default:
+		return nil, fmt.Errorf("join: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = algo
+	res.Query = q
+	res.Elapsed = env.DB.Meter.Elapsed()
+	res.Counters = env.DB.Meter.Snapshot()
+	return res, nil
+}
+
+// attrIndexes caches the attribute positions the query touches.
+type attrIndexes struct {
+	provName, provUpin, provClients int
+	patMrn, patAge, patPcp          int
+}
+
+func attrs(env *Env) (attrIndexes, error) {
+	pc, tc := env.Parent.Class, env.Child.Class
+	ai := attrIndexes{
+		provName:    pc.AttrIndex(env.ParentProj),
+		provUpin:    pc.AttrIndex(env.ParentKeyAttr),
+		provClients: pc.AttrIndex(env.SetAttr),
+		patMrn:      tc.AttrIndex(env.ChildKeyAttr),
+		patAge:      tc.AttrIndex(env.ChildProj),
+		patPcp:      tc.AttrIndex(env.ParentRefAttr),
+	}
+	for _, spec := range []struct {
+		idx  int
+		name string
+	}{
+		{ai.provName, env.ParentProj}, {ai.provUpin, env.ParentKeyAttr},
+		{ai.provClients, env.SetAttr}, {ai.patMrn, env.ChildKeyAttr},
+		{ai.patAge, env.ChildProj}, {ai.patPcp, env.ParentRefAttr},
+	} {
+		if spec.idx < 0 {
+			return ai, fmt.Errorf("join: env names unknown attribute %q", spec.name)
+		}
+	}
+	return ai, nil
+}
+
+func indexOrErr(env *Env, extent, attr string) (*engine.Index, error) {
+	ix := env.DB.IndexOn(extent, attr)
+	if ix == nil {
+		return nil, fmt.Errorf("join: no index on %s.%s", extent, attr)
+	}
+	return ix, nil
+}
+
+// runNL is parent-to-child navigation:
+//
+//	For all providers p whose upin < k2        /* index scan */
+//	  For all clients pa of p                  /* navigation */
+//	    if pa.mrn < k1 add f(p,pa) to the result
+//
+// Only the provider index is usable; patients are reached through the
+// clients sets, randomly under class/random clustering and sequentially
+// under composition clustering.
+func runNL(env *Env, q Query) (*Result, error) {
+	db := env.DB
+	ai, err := attrs(env)
+	if err != nil {
+		return nil, err
+	}
+	upinIdx, err := indexOrErr(env, env.Parent.Name, env.ParentKeyAttr)
+	if err != nil {
+		return nil, err
+	}
+	meter := db.Meter
+	k1, k2 := q.K1, q.K2
+	res := &Result{}
+	err = upinIdx.Tree.Scan(db.Client, 1, k2, func(e index.Entry) (bool, error) {
+		ph, err := db.Handles.Get(e.Rid)
+		if err != nil {
+			return false, err
+		}
+		defer db.Handles.Unref(ph)
+		nameV, err := db.Handles.Attr(ph, ai.provName)
+		if err != nil {
+			return false, err
+		}
+		clientsV, err := db.Handles.Attr(ph, ai.provClients)
+		if err != nil {
+			return false, err
+		}
+		return true, collection.Scan(db.Client, clientsV.Ref, func(prid storage.Rid) (bool, error) {
+			pa, err := db.Handles.Get(prid)
+			if err != nil {
+				return false, err
+			}
+			defer db.Handles.Unref(pa)
+			mrnV, err := db.Handles.Attr(pa, ai.patMrn)
+			if err != nil {
+				return false, err
+			}
+			meter.Compare()
+			if mrnV.Int < k1 {
+				ageV, err := db.Handles.Attr(pa, ai.patAge)
+				if err != nil {
+					return false, err
+				}
+				emit(meter, res, nameV.Str, ageV.Int)
+			}
+			return true, nil
+		})
+	})
+	return res, err
+}
+
+// runNOJOIN is child-to-parent navigation:
+//
+//	For all patients whose mrn < k1            /* index scan */
+//	  get the patient primary care provider p  /* navigation */
+//	  if p.upin < k2 add f(p,pa) to the result
+//
+// The index rides on the large collection, but the upin condition may be
+// tested up to 3 (resp. 1000) times per provider.
+func runNOJOIN(env *Env, q Query) (*Result, error) {
+	db := env.DB
+	ai, err := attrs(env)
+	if err != nil {
+		return nil, err
+	}
+	mrnIdx, err := indexOrErr(env, env.Child.Name, env.ChildKeyAttr)
+	if err != nil {
+		return nil, err
+	}
+	meter := db.Meter
+	k1, k2 := q.K1, q.K2
+	res := &Result{}
+	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
+		pa, err := db.Handles.Get(e.Rid)
+		if err != nil {
+			return false, err
+		}
+		defer db.Handles.Unref(pa)
+		pcpV, err := db.Handles.Attr(pa, ai.patPcp)
+		if err != nil {
+			return false, err
+		}
+		ph, err := db.Handles.Get(pcpV.Ref)
+		if err != nil {
+			return false, err
+		}
+		defer db.Handles.Unref(ph)
+		upinV, err := db.Handles.Attr(ph, ai.provUpin)
+		if err != nil {
+			return false, err
+		}
+		meter.Compare()
+		if upinV.Int < k2 {
+			nameV, err := db.Handles.Attr(ph, ai.provName)
+			if err != nil {
+				return false, err
+			}
+			ageV, err := db.Handles.Attr(pa, ai.patAge)
+			if err != nil {
+				return false, err
+			}
+			emit(meter, res, nameV.Str, ageV.Int)
+		}
+		return true, nil
+	})
+	return res, err
+}
+
+func emit(meter *sim.Meter, res *Result, name string, age int64) {
+	meter.ResultAppend()
+	res.Tuples++
+}
+
+// providerInfo is what the parent table stores: "the elements needed to
+// construct f(p,pa)" (§5), here the provider's name.
+type providerInfo struct {
+	name string
+}
+
+// runPHJ hashes the parents and joins:
+//
+//	hash all providers whose upin < k2 by their identifiers  /* index scan */
+//	For all patients whose mrn < k1                          /* index scan */
+//	  get the provider information by probing the hash table
+//	  add f(p,pa) to the result
+func runPHJ(env *Env, q Query) (*Result, error) {
+	db := env.DB
+	ai, err := attrs(env)
+	if err != nil {
+		return nil, err
+	}
+	upinIdx, err := indexOrErr(env, env.Parent.Name, env.ParentKeyAttr)
+	if err != nil {
+		return nil, err
+	}
+	mrnIdx, err := indexOrErr(env, env.Child.Name, env.ChildKeyAttr)
+	if err != nil {
+		return nil, err
+	}
+	meter := db.Meter
+	k1, k2 := q.K1, q.K2
+	res := &Result{}
+
+	region := sim.NewRegion(meter, db.Machine.HashBudget)
+	table := make(map[storage.Rid]providerInfo)
+	// Build: index scan over providers in upin (physical) order; the hash
+	// function scatters the writes across the table.
+	err = upinIdx.Tree.Scan(db.Client, 1, k2, func(e index.Entry) (bool, error) {
+		ph, err := db.Handles.Get(e.Rid)
+		if err != nil {
+			return false, err
+		}
+		nameV, err := db.Handles.Attr(ph, ai.provName)
+		if err != nil {
+			db.Handles.Unref(ph)
+			return false, err
+		}
+		db.Handles.Unref(ph)
+		meter.HashInsert()
+		region.Grow(parentEntryBytes)
+		region.RandomWrite()
+		table[e.Rid] = providerInfo{name: nameV.Str}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.HashTableBytes = region.Size()
+	res.Swapped = region.Swapping()
+
+	// Probe: sequential scan of selected patients, random probes.
+	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
+		pa, err := db.Handles.Get(e.Rid)
+		if err != nil {
+			return false, err
+		}
+		defer db.Handles.Unref(pa)
+		pcpV, err := db.Handles.Attr(pa, ai.patPcp)
+		if err != nil {
+			return false, err
+		}
+		meter.HashProbe()
+		region.RandomRead()
+		info, ok := table[pcpV.Ref]
+		if ok {
+			ageV, err := db.Handles.Attr(pa, ai.patAge)
+			if err != nil {
+				return false, err
+			}
+			emit(meter, res, info.name, ageV.Int)
+		}
+		return true, nil
+	})
+	return res, err
+}
+
+// runCHJ hashes the children and joins — the §5.1 variation of the
+// pointer-based join that scans the provider collection sequentially
+// instead of in hash order:
+//
+//	hash all patients whose mrn < k1 by their primary care provider
+//	For all providers whose upin < k2                        /* index scan */
+//	  get the corresponding patient information in the hash table
+//	  add f(p,pa) to the result
+func runCHJ(env *Env, q Query) (*Result, error) {
+	db := env.DB
+	ai, err := attrs(env)
+	if err != nil {
+		return nil, err
+	}
+	upinIdx, err := indexOrErr(env, env.Parent.Name, env.ParentKeyAttr)
+	if err != nil {
+		return nil, err
+	}
+	mrnIdx, err := indexOrErr(env, env.Child.Name, env.ChildKeyAttr)
+	if err != nil {
+		return nil, err
+	}
+	meter := db.Meter
+	k1, k2 := q.K1, q.K2
+	res := &Result{}
+
+	region := sim.NewRegion(meter, db.Machine.HashBudget)
+	table := make(map[storage.Rid][]int64) // provider rid → patient ages
+	// Build: one group entry per provider present, one child entry per
+	// selected patient; the groups' chunks scatter as patients arrive in
+	// mrn (not provider) order.
+	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
+		pa, err := db.Handles.Get(e.Rid)
+		if err != nil {
+			return false, err
+		}
+		defer db.Handles.Unref(pa)
+		pcpV, err := db.Handles.Attr(pa, ai.patPcp)
+		if err != nil {
+			return false, err
+		}
+		ageV, err := db.Handles.Attr(pa, ai.patAge)
+		if err != nil {
+			return false, err
+		}
+		meter.HashInsert()
+		group, ok := table[pcpV.Ref]
+		if !ok {
+			region.Grow(groupEntryBytes)
+		}
+		region.Grow(childEntryBytes)
+		region.RandomWrite()
+		table[pcpV.Ref] = append(group, ageV.Int)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.HashTableBytes = region.Size()
+	res.Swapped = region.Swapping()
+
+	// Probe: sequential scan of selected providers; each group's chunks
+	// are scattered across the (possibly swapped) table.
+	err = upinIdx.Tree.Scan(db.Client, 1, k2, func(e index.Entry) (bool, error) {
+		meter.HashProbe()
+		region.RandomRead()
+		group := table[e.Rid]
+		if len(group) == 0 {
+			return true, nil
+		}
+		ph, err := db.Handles.Get(e.Rid)
+		if err != nil {
+			return false, err
+		}
+		defer db.Handles.Unref(ph)
+		nameV, err := db.Handles.Attr(ph, ai.provName)
+		if err != nil {
+			return false, err
+		}
+		for _, age := range group {
+			region.RandomRead()
+			emit(meter, res, nameV.Str, age)
+		}
+		return true, nil
+	})
+	return res, err
+}

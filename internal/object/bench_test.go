@@ -1,0 +1,67 @@
+package object
+
+import (
+	"testing"
+
+	"treebench/internal/storage"
+)
+
+func benchClass() *Class {
+	return NewClass("Bench", []Attr{
+		{Name: "name", Kind: KindString, StrLen: 16},
+		{Name: "a", Kind: KindInt},
+		{Name: "b", Kind: KindInt},
+		{Name: "ref", Kind: KindRef},
+	})
+}
+
+func benchValues() []Value {
+	return []Value{
+		StringValue("bench-object"), IntValue(42), IntValue(7),
+		RefValue(storage.Rid{Page: 3, Slot: 1}),
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c := benchClass()
+	vals := benchValues()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(c, vals, DefaultIndexSlots); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeAttr(b *testing.B) {
+	c := benchClass()
+	rec, _ := Encode(c, benchValues(), DefaultIndexSlots)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAttr(c, rec, i%len(c.Attrs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandleGetUnref(b *testing.B) {
+	reg := NewRegistry()
+	c := benchClass()
+	reg.Register(c)
+	store := storage.NewStore(0)
+	f, _ := store.CreateFile("bench")
+	rec, _ := Encode(c, benchValues(), 0)
+	rid, _ := f.Append(store.Disk, rec)
+	tbl := NewTable(newTestMeter(), store.Disk, reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := tbl.Get(rid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Unref(h)
+	}
+}

@@ -1,0 +1,123 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Attr describes one attribute of a class.
+type Attr struct {
+	Name string
+	Kind Kind
+	// StrLen is the inline width of a KindString attribute; ignored for
+	// other kinds. The Derby schema uses 16 everywhere.
+	StrLen int
+}
+
+// size returns the encoded width of the attribute.
+func (a Attr) size() int {
+	switch a.Kind {
+	case KindInt:
+		return 4
+	case KindChar:
+		return 1
+	case KindString:
+		return a.StrLen
+	case KindRef, KindSet:
+		return 8
+	default:
+		panic(fmt.Sprintf("object: unknown kind %v", a.Kind))
+	}
+}
+
+// Class is an object type: a named, ordered list of attributes with a
+// computed fixed layout (Derby objects are fixed-size tuples; variable
+// parts — large sets — are out-of-line).
+type Class struct {
+	ID    uint16
+	Name  string
+	Attrs []Attr
+
+	offsets []int // attribute offsets relative to the end of the header
+	width   int   // total attribute bytes
+	byName  map[string]int
+
+	// Evolution state: epochAttrs[e] is the attribute count at epoch e
+	// (nil until the first AddAttr); defaults holds one default per
+	// attribute added by evolution.
+	epochAttrs []int
+	defaults   []Value
+
+	// Inheritance: the direct superclass and known subclasses.
+	parent     *Class
+	subclasses []*Class
+}
+
+// NewClass builds a class with the given attributes. IDs are assigned by
+// the Registry.
+func NewClass(name string, attrs []Attr) *Class {
+	c := &Class{Name: name, Attrs: attrs, byName: make(map[string]int, len(attrs))}
+	off := 0
+	for i, a := range attrs {
+		if _, dup := c.byName[a.Name]; dup {
+			panic(fmt.Sprintf("object: class %s has duplicate attribute %q", name, a.Name))
+		}
+		c.byName[a.Name] = i
+		c.offsets = append(c.offsets, off)
+		off += a.size()
+	}
+	c.width = off
+	return c
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (c *Class) AttrIndex(name string) int {
+	if i, ok := c.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Width returns the fixed attribute-data width in bytes (header excluded).
+func (c *Class) Width() int { return c.width }
+
+// Registry maps class IDs to classes for record decoding.
+type Registry struct {
+	byID   map[uint16]*Class
+	byName map[string]*Class
+	nextID uint16
+}
+
+// NewRegistry returns an empty class registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[uint16]*Class), byName: make(map[string]*Class), nextID: 1}
+}
+
+// Register assigns an ID to the class and records it. Registering two
+// classes with one name fails.
+func (r *Registry) Register(c *Class) error {
+	if _, ok := r.byName[c.Name]; ok {
+		return fmt.Errorf("object: class %q already registered", c.Name)
+	}
+	c.ID = r.nextID
+	r.nextID++
+	r.byID[c.ID] = c
+	r.byName[c.Name] = c
+	return nil
+}
+
+// ByID returns the class with the given ID, or nil.
+func (r *Registry) ByID(id uint16) *Class { return r.byID[id] }
+
+// ByName returns the class with the given name, or nil.
+func (r *Registry) ByName(name string) *Class { return r.byName[name] }
+
+// Names returns registered class names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,117 @@
+package object
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Dynamic class evolution (§4.4 lists it among the features that force O2
+// to keep per-object system information: "Some information about the
+// schema update history of the object class"). Attributes are appended to
+// a class, never removed or retyped; each addition bumps the class epoch.
+// Records remember the epoch they were written at (header bytes 8..12), so
+// a reader can tell which attributes a record physically carries: reads of
+// newer attributes return the registered default, and writes require the
+// record to be upgraded — re-encoded at the current epoch, which grows it
+// and may relocate it (the same mechanics as §3.2's index storm).
+
+// ErrStaleRecord is returned when writing an attribute a record's epoch
+// does not carry yet.
+var ErrStaleRecord = errors.New("object: record predates attribute; upgrade it first")
+
+// Epoch returns the class epoch: the number of schema updates applied.
+func (c *Class) Epoch() uint32 { return uint32(len(c.epochAttrs)) }
+
+// attrsAt returns how many attributes the class had at the given epoch.
+func (c *Class) attrsAt(epoch uint32) int {
+	if len(c.epochAttrs) == 0 || epoch >= uint32(len(c.epochAttrs)) {
+		return len(c.Attrs)
+	}
+	return c.epochAttrs[epoch]
+}
+
+// AddAttr appends an attribute with a default value for records written
+// before the change, and bumps the class epoch. Classes with subclasses
+// cannot evolve: a parent-side append would collide with the subclasses'
+// own attributes, whose layouts start where the parent's ends.
+func (c *Class) AddAttr(a Attr, def Value) error {
+	if c.hasSubclasses() {
+		return fmt.Errorf("object: cannot evolve class %s: it has subclasses", c.Name)
+	}
+	if _, dup := c.byName[a.Name]; dup {
+		return fmt.Errorf("object: class %s already has attribute %q", c.Name, a.Name)
+	}
+	if def.Kind != a.Kind {
+		return fmt.Errorf("object: default for %s.%s is %v, want %v", c.Name, a.Name, def.Kind, a.Kind)
+	}
+	if c.epochAttrs == nil {
+		c.epochAttrs = []int{len(c.Attrs)}
+	} else {
+		c.epochAttrs = append(c.epochAttrs, len(c.Attrs))
+	}
+	c.byName[a.Name] = len(c.Attrs)
+	c.offsets = append(c.offsets, c.width)
+	c.width += a.size()
+	c.Attrs = append(c.Attrs, a)
+	c.defaults = append(c.defaults, def)
+	return nil
+}
+
+// defaultFor returns the default value of attribute i (attributes added by
+// evolution have one; originals do not need one).
+func (c *Class) defaultFor(i int) (Value, bool) {
+	base := len(c.Attrs) - len(c.defaults)
+	if i < base {
+		return Value{}, false
+	}
+	return c.defaults[i-base], true
+}
+
+// RecordEpoch reads the schema epoch a record was written at.
+func RecordEpoch(rec []byte) uint32 { return binary.LittleEndian.Uint32(rec[8:12]) }
+
+func setRecordEpoch(rec []byte, epoch uint32) {
+	binary.LittleEndian.PutUint32(rec[8:12], epoch)
+}
+
+// carriesAttr reports whether the record physically contains attribute i.
+func carriesAttr(c *Class, rec []byte, i int) bool {
+	return i < c.attrsAt(RecordEpoch(rec))
+}
+
+// UpgradeRecord re-encodes rec at the class's current epoch, appending
+// defaults for the attributes it predates. It returns the new record and
+// whether anything changed.
+func UpgradeRecord(c *Class, rec []byte) ([]byte, bool, error) {
+	epoch := RecordEpoch(rec)
+	if c.attrsAt(epoch) == len(c.Attrs) {
+		return rec, false, nil
+	}
+	values := make([]Value, len(c.Attrs))
+	for i := range c.Attrs {
+		if carriesAttr(c, rec, i) {
+			v, err := DecodeAttr(c, rec, i)
+			if err != nil {
+				return nil, false, err
+			}
+			values[i] = v
+		} else {
+			def, ok := c.defaultFor(i)
+			if !ok {
+				return nil, false, fmt.Errorf("object: no default for %s.%s", c.Name, c.Attrs[i].Name)
+			}
+			values[i] = def
+		}
+	}
+	capSlots := int(binary.LittleEndian.Uint16(rec[12:14]))
+	out, err := Encode(c, values, capSlots)
+	if err != nil {
+		return nil, false, err
+	}
+	// Preserve header bookkeeping: flags, index membership.
+	out[2] = rec[2]
+	out[3] = rec[3]
+	copy(out[baseHeaderLen:HeaderLen(capSlots)], rec[baseHeaderLen:HeaderLen(capSlots)])
+	return out, true, nil
+}

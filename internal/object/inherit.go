@@ -1,0 +1,60 @@
+package object
+
+import "fmt"
+
+// Inheritance: §4.4 lists the object's "exact type (because of
+// inheritance)" among the facts every Handle must carry. A subclass
+// extends its parent's attribute list, so a subclass record's layout is a
+// strict prefix-extension of the parent's: any record can be decoded
+// through any ancestor class, and extents are polymorphic.
+
+// NewSubclass builds a class deriving from parent with extra own
+// attributes appended after the inherited ones.
+func NewSubclass(name string, parent *Class, own []Attr) (*Class, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("object: subclass %s needs a parent", name)
+	}
+	if parent.Epoch() != 0 {
+		return nil, fmt.Errorf("object: cannot derive from evolved class %s", parent.Name)
+	}
+	attrs := make([]Attr, 0, len(parent.Attrs)+len(own))
+	attrs = append(attrs, parent.Attrs...)
+	for _, a := range own {
+		if parent.AttrIndex(a.Name) >= 0 {
+			return nil, fmt.Errorf("object: subclass %s redeclares %s.%s", name, parent.Name, a.Name)
+		}
+		attrs = append(attrs, a)
+	}
+	c := NewClass(name, attrs)
+	c.parent = parent
+	parent.subclasses = append(parent.subclasses, c)
+	return c, nil
+}
+
+// Parent returns the direct superclass, or nil.
+func (c *Class) Parent() *Class { return c.parent }
+
+// IsSubclassOf reports whether c is ancestor or derives from it.
+func (c *Class) IsSubclassOf(ancestor *Class) bool {
+	for x := c; x != nil; x = x.parent {
+		if x == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+// Subclasses returns the direct subclasses.
+func (c *Class) Subclasses() []*Class { return c.subclasses }
+
+// hasSubclasses reports whether any class derives from c (transitively it
+// is enough to check direct children: deriving requires a registered
+// child).
+func (c *Class) hasSubclasses() bool { return len(c.subclasses) > 0 }
+
+// Belongs reports whether a record of class id is an instance of cls
+// (exactly or via inheritance), resolving through the registry.
+func (r *Registry) Belongs(id uint16, cls *Class) bool {
+	rec := r.ByID(id)
+	return rec != nil && rec.IsSubclassOf(cls)
+}

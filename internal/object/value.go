@@ -1,0 +1,91 @@
+// Package object implements the ODMG-style object layer: classes and
+// attribute layouts, the record codec (including the growable index-slot
+// header of §3.2), and Handles — the in-memory object representatives whose
+// management cost is the subject of the paper's §4.
+package object
+
+import (
+	"fmt"
+
+	"treebench/internal/storage"
+)
+
+// Kind enumerates attribute types. The Derby schema needs exactly these.
+type Kind uint8
+
+const (
+	// KindInt is a 4-byte signed integer.
+	KindInt Kind = iota
+	// KindChar is a single byte (the Patient.sex attribute).
+	KindChar
+	// KindString is a fixed-width inline string, zero-padded. The paper
+	// sizes Derby strings at 16 characters and counts them inside the
+	// object, so they are inline rather than out-of-line records.
+	KindString
+	// KindRef is an 8-byte physical reference (Rid) to another object.
+	KindRef
+	// KindSet is an 8-byte reference to a collection record (see package
+	// collection): small sets live as separate records in the owner's
+	// file, sets over a page in a separate file.
+	KindSet
+)
+
+// String returns the OQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "integer"
+	case KindChar:
+		return "char"
+	case KindString:
+		return "string"
+	case KindRef:
+		return "ref"
+	case KindSet:
+		return "set"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is one attribute value. Exactly one of the payload fields is
+// meaningful, per Kind.
+type Value struct {
+	Kind Kind
+	Int  int64       // KindInt, KindChar
+	Str  string      // KindString
+	Ref  storage.Rid // KindRef, KindSet
+}
+
+// IntValue returns an integer Value.
+func IntValue(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// CharValue returns a char Value.
+func CharValue(c byte) Value { return Value{Kind: KindChar, Int: int64(c)} }
+
+// StringValue returns a string Value.
+func StringValue(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// RefValue returns a reference Value.
+func RefValue(r storage.Rid) Value { return Value{Kind: KindRef, Ref: r} }
+
+// SetValue returns a collection-reference Value.
+func SetValue(r storage.Rid) Value { return Value{Kind: KindSet, Ref: r} }
+
+// String renders the value for debugging and the OQL shell.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindChar:
+		return fmt.Sprintf("%q", byte(v.Int))
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case KindRef:
+		return v.Ref.String()
+	case KindSet:
+		return "set" + v.Ref.String()
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,145 @@
+package oql
+
+import (
+	"fmt"
+	"strings"
+
+	"treebench/internal/selection"
+)
+
+// Aggregate names an aggregation function applied to a projection.
+type Aggregate string
+
+// The supported aggregates (empty means a plain projection).
+const (
+	AggNone  Aggregate = ""
+	AggCount Aggregate = "count"
+	AggSum   Aggregate = "sum"
+	AggMin   Aggregate = "min"
+	AggMax   Aggregate = "max"
+	AggAvg   Aggregate = "avg"
+)
+
+// Projection is one select-list item: a path, optionally wrapped in an
+// aggregate.
+type Projection struct {
+	Agg  Aggregate
+	Path Path
+}
+
+func (p Projection) String() string {
+	if p.Agg == AggNone {
+		return p.Path.String()
+	}
+	return string(p.Agg) + "(" + p.Path.String() + ")"
+}
+
+// Path is a variable plus attribute steps: `pa.age` or just `pa`.
+type Path struct {
+	Var   string
+	Attrs []string
+}
+
+func (p Path) String() string {
+	if len(p.Attrs) == 0 {
+		return p.Var
+	}
+	return p.Var + "." + strings.Join(p.Attrs, ".")
+}
+
+// Binding is one `var in source` clause. Exactly one of Extent or
+// (ParentVar, ParentAttr) is set: `p in Providers` or `pa in p.clients`.
+type Binding struct {
+	Var        string
+	Extent     string
+	ParentVar  string
+	ParentAttr string
+}
+
+func (b Binding) String() string {
+	if b.Extent != "" {
+		return fmt.Sprintf("%s in %s", b.Var, b.Extent)
+	}
+	return fmt.Sprintf("%s in %s.%s", b.Var, b.ParentVar, b.ParentAttr)
+}
+
+// Comparison is one conjunct `path op literal` (or the mirrored literal op
+// path, normalized during parsing).
+type Comparison struct {
+	Path Path
+	Op   selection.Op
+	K    int64
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %d", c.Path, c.Op, c.K)
+}
+
+// OrderSpec is an `order by path [asc|desc]` clause.
+type OrderSpec struct {
+	Path Path
+	Desc bool
+}
+
+func (o OrderSpec) String() string {
+	s := "order by " + o.Path.String()
+	if o.Desc {
+		s += " desc"
+	}
+	return s
+}
+
+// Query is the parsed AST.
+type Query struct {
+	CountStar   bool
+	Projections []Projection
+	Bindings    []Binding
+	Where       []Comparison
+	OrderBy     *OrderSpec
+}
+
+// HasAggregates reports whether any projection is an aggregate.
+func (q *Query) HasAggregates() bool {
+	for _, p := range q.Projections {
+		if p.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if q.CountStar {
+		b.WriteString("count(*)")
+	} else {
+		for i, p := range q.Projections {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	b.WriteString(" from ")
+	for i, bd := range q.Bindings {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(bd.String())
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" where ")
+		for i, c := range q.Where {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if q.OrderBy != nil {
+		b.WriteString(" ")
+		b.WriteString(q.OrderBy.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package oql
+
+import (
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+const benchQuery = `select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 10000 and p.upin < 50`
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlan(b *testing.B) {
+	d, err := derby.Generate(derby.DefaultConfig(50, 20, derby.ClassCluster))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := &Planner{DB: d.DB, Strategy: CostBased}
+	ast, err := Parse(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Plan(ast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package oql
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"treebench/internal/join"
+	"treebench/internal/object"
+	"treebench/internal/selection"
+	"treebench/internal/sim"
+)
+
+// Attribute kinds the analyzer tests against.
+const (
+	refKind  = object.KindRef
+	intKind  = object.KindInt
+	charKind = object.KindChar
+)
+
+// AggResult is one computed aggregate.
+type AggResult struct {
+	Label string
+	Value float64
+}
+
+// SampleLimit caps how many result rows the executor materializes for
+// display; the row count and costs always cover the full result.
+const SampleLimit = 10000
+
+// Row is one materialized result row (projected values in select-list
+// order, hidden order-by projections stripped).
+type Row []object.Value
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	Plan     *Plan
+	Rows     int
+	Elapsed  time.Duration
+	Counters sim.Counters
+
+	// Selection and Join carry the operator-level reports when relevant.
+	Selection *selection.Result
+	Join      *join.Result
+
+	// Aggregates holds computed aggregate values, in projection order.
+	Aggregates []AggResult
+
+	// Sample holds up to SampleLimit materialized rows (in order-by order
+	// when the plan sorts). SampleTruncated reports that more rows
+	// matched than were kept.
+	Sample          []Row
+	SampleTruncated bool
+}
+
+// Execute runs the plan on the planner's database. The caller decides the
+// cache temperature (call db.ColdRestart() first for the paper's cold
+// methodology).
+func (pl *Planner) Execute(p *Plan) (*Result, error) {
+	switch p.Kind {
+	case PlanSelection:
+		req := selection.Request{
+			Extent:   p.Extent,
+			Where:    p.Where,
+			Filters:  p.Filters,
+			Projects: p.Projects,
+		}
+		var aggs []*aggState
+		var sample []Row
+		truncated := false
+		switch {
+		case hasAgg(p.Aggregates):
+			aggs = make([]*aggState, len(p.Aggregates))
+			for i, a := range p.Aggregates {
+				aggs[i] = &aggState{agg: a, label: string(a) + "(" + p.Projects[i] + ")"}
+			}
+			req.OnRow = func(vals []object.Value) error {
+				for i, st := range aggs {
+					st.add(vals[i].Int)
+				}
+				return nil
+			}
+		case len(p.Projects) > 0:
+			req.OnRow = func(vals []object.Value) error {
+				if len(sample) < SampleLimit {
+					row := make(Row, len(vals))
+					copy(row, vals)
+					sample = append(sample, row)
+				} else {
+					truncated = true
+				}
+				return nil
+			}
+		}
+		sres, err := selection.Run(pl.DB, req, p.Access)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Plan: p, Rows: sres.Rows,
+			Elapsed: sres.Elapsed, Counters: sres.Counters,
+			Selection: sres,
+		}
+		for _, st := range aggs {
+			res.Aggregates = append(res.Aggregates, st.result())
+		}
+		if p.OrderAttr != "" {
+			// Sorting the result is charged over ALL matching rows, as
+			// the system would; the sample is what we can show.
+			pl.DB.Meter.Sort(int64(sres.Rows))
+			idx := p.OrderIdx
+			sort.SliceStable(sample, func(i, j int) bool {
+				if p.OrderDesc {
+					return sample[i][idx].Int > sample[j][idx].Int
+				}
+				return sample[i][idx].Int < sample[j][idx].Int
+			})
+			if p.orderHidden {
+				for i := range sample {
+					sample[i] = sample[i][:len(sample[i])-1]
+				}
+			}
+			res.Elapsed = pl.DB.Meter.Elapsed()
+			res.Counters = pl.DB.Meter.Snapshot()
+		}
+		res.Sample = sample
+		res.SampleTruncated = truncated
+		return res, nil
+	case PlanTreeJoin:
+		jres, err := join.Run(p.Env, p.Algorithm, p.JoinQuery)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Plan: p, Rows: jres.Tuples,
+			Elapsed: jres.Elapsed, Counters: jres.Counters,
+			Join: jres,
+		}, nil
+	default:
+		return nil, fmt.Errorf("oql: unknown plan kind %d", p.Kind)
+	}
+}
+
+// Query parses, plans and executes OQL text in one call.
+func (pl *Planner) Query(src string) (*Result, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pl.Plan(ast)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(plan)
+}
+
+func hasAgg(aggs []Aggregate) bool {
+	for _, a := range aggs {
+		if a != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// aggState folds one aggregate over the matching rows.
+type aggState struct {
+	agg   Aggregate
+	label string
+	n     int64
+	sum   int64
+	min   int64
+	max   int64
+}
+
+func (s *aggState) add(v int64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+}
+
+func (s *aggState) result() AggResult {
+	out := AggResult{Label: s.label}
+	switch s.agg {
+	case AggCount:
+		out.Value = float64(s.n)
+	case AggSum:
+		out.Value = float64(s.sum)
+	case AggMin:
+		if s.n > 0 {
+			out.Value = float64(s.min)
+		}
+	case AggMax:
+		if s.n > 0 {
+			out.Value = float64(s.max)
+		}
+	case AggAvg:
+		if s.n > 0 {
+			out.Value = float64(s.sum) / float64(s.n)
+		}
+	}
+	return out
+}

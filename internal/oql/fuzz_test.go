@@ -1,0 +1,35 @@
+package oql
+
+import "testing"
+
+// FuzzParse drives the OQL parser with arbitrary input: it must either
+// return an error or an AST that survives a String→Parse round trip —
+// never panic. Run with `go test -fuzz FuzzParse ./internal/oql`.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100 and p.upin < 50",
+		"select count(*) from pa in Patients",
+		"select sum(pa.age), min(pa.age) from pa in Patients where pa.num >= 7 order by pa.age desc",
+		"select a.b from a in B where 10 <= a.b order by a.c",
+		"select x from y in Z",
+		"",
+		"select",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must round trip.
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok, but its rendering %q fails: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("rendering unstable: %q → %q", rendered, q2.String())
+		}
+	})
+}

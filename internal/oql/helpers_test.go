@@ -1,0 +1,21 @@
+package oql
+
+import (
+	"testing"
+
+	"treebench/internal/engine"
+	"treebench/internal/object"
+	"treebench/internal/sim"
+	"treebench/internal/txn"
+)
+
+// engineDB builds a bare engine database for planner unit tests.
+func engineDB(t *testing.T) *engine.Database {
+	t.Helper()
+	return engine.New(sim.DefaultMachine(), sim.DefaultCostModel(), txn.NoTransaction)
+}
+
+// objectClass is a one-int-attribute class for statistics tests.
+func objectClass() *object.Class {
+	return object.NewClass("Skew", []object.Attr{{Name: "v", Kind: object.KindInt}})
+}

@@ -1,0 +1,120 @@
+// Package oql implements the OQL subset the paper benchmarks: selections
+// over extents and the two-variable hierarchical query of §5
+//
+//	select p.name, pa.age
+//	from p in Providers, pa in p.clients
+//	where pa.mrn < k1 and p.upin < k2
+//
+// with a lexer, parser, semantic analysis against the database schema, an
+// optimizer offering the old heuristic strategy and the cost-based strategy
+// the paper set out to build, and an executor that delegates to the
+// selection and join operator packages.
+package oql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokString
+	tokPunct // ( ) , . *
+	tokOp    // < <= > >= = !=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "in": true,
+	"and": true, "count": true, "as": true,
+	"sum": true, "min": true, "max": true, "avg": true,
+	"order": true, "by": true, "asc": true, "desc": true,
+}
+
+// lex splits the query text into tokens. Keywords are case-insensitive, as
+// in OQL.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*':
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		case c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, src[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("oql: stray '!' at offset %d", i)
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokInt, src[i:j], i})
+			i = j
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("oql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i
+			for j < len(src) && (src[j] == '_' || src[j] >= '0' && src[j] <= '9' ||
+				unicode.IsLetter(rune(src[j]))) {
+				j++
+			}
+			word := src[i:j]
+			if keywords[strings.ToLower(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToLower(word), i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("oql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}

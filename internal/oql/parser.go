@@ -1,0 +1,264 @@
+package oql
+
+import (
+	"fmt"
+	"strconv"
+
+	"treebench/internal/selection"
+)
+
+// Parse turns OQL text into an AST. It reports the first syntax error with
+// its offset.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %s", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokKind]string{
+			tokIdent: "identifier", tokInt: "integer", tokOp: "operator",
+		}[kind]
+	}
+	return token{}, p.errf("expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("oql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	// count(*) is a dedicated form; count(path) is an ordinary aggregate
+	// projection, so look two tokens ahead before committing.
+	if p.at(tokKeyword, "count") && p.i+2 < len(p.toks) &&
+		p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" &&
+		p.toks[p.i+2].kind == tokPunct && p.toks[p.i+2].text == "*" {
+		p.next()
+		p.next()
+		p.next()
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		q.CountStar = true
+	} else {
+		for {
+			proj, err := p.parseProjection()
+			if err != nil {
+				return nil, err
+			}
+			q.Projections = append(q.Projections, proj)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		b, err := p.parseBinding()
+		if err != nil {
+			return nil, err
+		}
+		q.Bindings = append(q.Bindings, b)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "where") {
+		for {
+			c, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, c)
+			if !p.accept(tokKeyword, "and") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "order") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		spec := &OrderSpec{Path: path}
+		if p.accept(tokKeyword, "desc") {
+			spec.Desc = true
+		} else {
+			p.accept(tokKeyword, "asc")
+		}
+		q.OrderBy = spec
+	}
+	return q, nil
+}
+
+// parseProjection parses `path` or `agg(path)`.
+func (p *parser) parseProjection() (Projection, error) {
+	for _, agg := range []Aggregate{AggSum, AggMin, AggMax, AggAvg, AggCount} {
+		if !p.at(tokKeyword, string(agg)) {
+			continue
+		}
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return Projection{}, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return Projection{}, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return Projection{}, err
+		}
+		return Projection{Agg: agg, Path: path}, nil
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return Projection{}, err
+	}
+	return Projection{Path: path}, nil
+}
+
+func (p *parser) parsePath() (Path, error) {
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return Path{}, err
+	}
+	path := Path{Var: id.text}
+	for p.accept(tokPunct, ".") {
+		attr, err := p.expect(tokIdent, "")
+		if err != nil {
+			return Path{}, err
+		}
+		path.Attrs = append(path.Attrs, attr.text)
+	}
+	return path, nil
+}
+
+func (p *parser) parseBinding() (Binding, error) {
+	v, err := p.expect(tokIdent, "")
+	if err != nil {
+		return Binding{}, err
+	}
+	if _, err := p.expect(tokKeyword, "in"); err != nil {
+		return Binding{}, err
+	}
+	src, err := p.parsePath()
+	if err != nil {
+		return Binding{}, err
+	}
+	b := Binding{Var: v.text}
+	switch len(src.Attrs) {
+	case 0:
+		b.Extent = src.Var
+	case 1:
+		b.ParentVar = src.Var
+		b.ParentAttr = src.Attrs[0]
+	default:
+		return Binding{}, p.errf("binding source %s: only one navigation step is supported", src)
+	}
+	return b, nil
+}
+
+func (p *parser) parseComparison() (Comparison, error) {
+	// Either `path op literal` or `literal op path`.
+	if p.at(tokInt, "") {
+		lit, _ := p.expect(tokInt, "")
+		op, err := p.expect(tokOp, "")
+		if err != nil {
+			return Comparison{}, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return Comparison{}, err
+		}
+		k, err := strconv.ParseInt(lit.text, 10, 64)
+		if err != nil {
+			return Comparison{}, p.errf("bad integer %q", lit.text)
+		}
+		return Comparison{Path: path, Op: mirror(selection.Op(op.text)), K: k}, nil
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return Comparison{}, err
+	}
+	op, err := p.expect(tokOp, "")
+	if err != nil {
+		return Comparison{}, err
+	}
+	lit, err := p.expect(tokInt, "")
+	if err != nil {
+		return Comparison{}, err
+	}
+	k, err := strconv.ParseInt(lit.text, 10, 64)
+	if err != nil {
+		return Comparison{}, p.errf("bad integer %q", lit.text)
+	}
+	return Comparison{Path: path, Op: selection.Op(op.text), K: k}, nil
+}
+
+// mirror flips an operator for `literal op path` → `path op' literal`.
+func mirror(op selection.Op) selection.Op {
+	switch op {
+	case selection.Lt:
+		return selection.Gt
+	case selection.Le:
+		return selection.Ge
+	case selection.Gt:
+		return selection.Lt
+	case selection.Ge:
+		return selection.Le
+	default:
+		return op // = and != are symmetric
+	}
+}

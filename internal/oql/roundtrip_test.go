@@ -1,0 +1,107 @@
+package oql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"treebench/internal/selection"
+)
+
+// randomQuery builds a random but syntactically valid AST.
+func randomQuery(rng *rand.Rand) *Query {
+	ident := func() string {
+		names := []string{"p", "pa", "x", "Providers", "Patients", "upin", "mrn", "age", "name", "num"}
+		return names[rng.Intn(len(names))]
+	}
+	path := func(variable string) Path {
+		return Path{Var: variable, Attrs: []string{ident()}}
+	}
+	q := &Query{}
+	vars := []string{"a", "b"}
+	// Bindings: one extent binding, maybe a child binding.
+	q.Bindings = append(q.Bindings, Binding{Var: vars[0], Extent: ident()})
+	twoVars := rng.Intn(2) == 0
+	if twoVars {
+		q.Bindings = append(q.Bindings, Binding{Var: vars[1], ParentVar: vars[0], ParentAttr: ident()})
+	}
+	// Projections: count(*) or 1..3 paths, possibly aggregated.
+	switch rng.Intn(3) {
+	case 0:
+		q.CountStar = true
+	default:
+		n := 1 + rng.Intn(3)
+		aggs := []Aggregate{AggNone, AggSum, AggMin, AggMax, AggAvg, AggCount}
+		for i := 0; i < n; i++ {
+			proj := Projection{Path: path(vars[rng.Intn(len(q.Bindings))])}
+			if rng.Intn(3) == 0 {
+				proj.Agg = aggs[rng.Intn(len(aggs))]
+			}
+			q.Projections = append(q.Projections, proj)
+		}
+	}
+	// Predicates.
+	ops := []selection.Op{selection.Lt, selection.Le, selection.Gt, selection.Ge, selection.Eq, selection.Ne}
+	for i := rng.Intn(3); i > 0; i-- {
+		q.Where = append(q.Where, Comparison{
+			Path: path(vars[rng.Intn(len(q.Bindings))]),
+			Op:   ops[rng.Intn(len(ops))],
+			K:    int64(rng.Intn(100000)),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		q.OrderBy = &OrderSpec{Path: path(vars[0]), Desc: rng.Intn(2) == 0}
+	}
+	return q
+}
+
+// TestQueryStringParseRoundTrip: any AST the builders can produce survives
+// String → Parse structurally intact.
+func TestQueryStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		src := q.String()
+		q2, err := Parse(src)
+		if err != nil {
+			t.Logf("Parse(%q): %v", src, err)
+			return false
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Logf("round trip changed %q:\n%#v\nvs\n%#v", src, q, q2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanics: arbitrary byte soup must produce an error or an
+// AST, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// A few handcrafted near-misses.
+	for _, src := range []string{
+		"select sum( from x in Y",
+		"select count(*) from x in Y where 1 < 2",
+		"select a.b from a in B where a.b < 99999999999999999999",
+		"select a.b, from a in B",
+		"SELECT A.B FROM A IN C WHERE A.B >= 0",
+	} {
+		_, _ = Parse(src)
+	}
+}

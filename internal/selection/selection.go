@@ -1,0 +1,364 @@
+// Package selection implements the three access paths of the §4.2
+// experiments (Figure 8): the standard full scan, the plain (unsorted)
+// index scan whose random fetches can read a page many times, and the
+// sorted index scan that sorts the matching Rids into physical order before
+// fetching — the optimization that "exceeded our expectations by far".
+package selection
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"treebench/internal/engine"
+	"treebench/internal/index"
+	"treebench/internal/object"
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+)
+
+// Access names one access path.
+type Access string
+
+// The §4.2 access paths.
+const (
+	FullScan        Access = "scan"
+	IndexScan       Access = "index"
+	SortedIndexScan Access = "index+sort"
+)
+
+// Op is a comparison operator.
+type Op string
+
+// Comparison operators over integer attributes.
+const (
+	Lt Op = "<"
+	Le Op = "<="
+	Gt Op = ">"
+	Ge Op = ">="
+	Eq Op = "="
+	Ne Op = "!="
+)
+
+// Pred is a predicate `attr op k` over an integer attribute.
+type Pred struct {
+	Attr string
+	Op   Op
+	K    int64
+}
+
+// Eval applies the predicate to a value.
+func (p Pred) Eval(v int64) bool {
+	switch p.Op {
+	case Lt:
+		return v < p.K
+	case Le:
+		return v <= p.K
+	case Gt:
+		return v > p.K
+	case Ge:
+		return v >= p.K
+	case Eq:
+		return v == p.K
+	case Ne:
+		return v != p.K
+	default:
+		return false
+	}
+}
+
+// Always is the empty predicate, true for every object (an unqualified
+// scan). Only FullScan accepts it.
+var Always = Pred{}
+
+// IsAlways reports whether the predicate is the empty always-true one.
+func (p Pred) IsAlways() bool { return p == Always }
+
+// KeyRange converts the predicate to a [lo, hi) index range.
+func (p Pred) KeyRange() (lo, hi int64, ok bool) {
+	const (
+		minKey = -1 << 62
+		maxKey = 1 << 62
+	)
+	switch p.Op {
+	case Lt:
+		return minKey, p.K, true
+	case Le:
+		return minKey, p.K + 1, true
+	case Gt:
+		return p.K + 1, maxKey, true
+	case Ge:
+		return p.K, maxKey, true
+	case Eq:
+		return p.K, p.K + 1, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// Request is one selection query: project attributes of the extent's
+// objects matching the predicates. Where drives the access path (it is the
+// indexable predicate); Filters are evaluated on each fetched object.
+// An empty Projects counts matches without building a result.
+type Request struct {
+	Extent   *engine.Extent
+	Where    Pred
+	Filters  []Pred
+	Projects []string
+	// OnRow, when set, receives the projected values of every matching
+	// object (the executor's hook for aggregation).
+	OnRow func(vals []object.Value) error
+}
+
+// Result reports one run.
+type Result struct {
+	Access   Access
+	Rows     int
+	Elapsed  time.Duration
+	Counters sim.Counters
+	// SortedRids is the number of Rids sorted (SortedIndexScan only).
+	SortedRids int
+}
+
+// Run evaluates the selection with the given access path on the session's
+// current (typically cold) caches.
+func Run(db *engine.Database, req Request, access Access) (*Result, error) {
+	cls := req.Extent.Class
+	whereIdx := -1
+	if !req.Where.IsAlways() {
+		whereIdx = cls.AttrIndex(req.Where.Attr)
+		if whereIdx < 0 {
+			return nil, fmt.Errorf("selection: no attribute %s.%s", cls.Name, req.Where.Attr)
+		}
+	}
+	filterIdxs := make([]int, len(req.Filters))
+	for i, f := range req.Filters {
+		filterIdxs[i] = cls.AttrIndex(f.Attr)
+		if filterIdxs[i] < 0 {
+			return nil, fmt.Errorf("selection: no attribute %s.%s", cls.Name, f.Attr)
+		}
+	}
+	projIdxs := make([]int, len(req.Projects))
+	for i, a := range req.Projects {
+		projIdxs[i] = cls.AttrIndex(a)
+		if projIdxs[i] < 0 {
+			return nil, fmt.Errorf("selection: no attribute %s.%s", cls.Name, a)
+		}
+	}
+	switch access {
+	case FullScan:
+		return runFullScan(db, req, whereIdx, filterIdxs, projIdxs)
+	case IndexScan, SortedIndexScan:
+		if req.Where.IsAlways() {
+			return nil, fmt.Errorf("selection: index scan needs a predicate")
+		}
+		return runIndexScan(db, req, whereIdx, filterIdxs, projIdxs, access == SortedIndexScan)
+	default:
+		return nil, fmt.Errorf("selection: unknown access path %q", access)
+	}
+}
+
+// match evaluates the where (if any) and filter predicates against a handle.
+func match(db *engine.Database, h *object.Handle, req Request, whereIdx int, filterIdxs []int) (bool, error) {
+	if whereIdx >= 0 {
+		v, err := db.Handles.Attr(h, whereIdx)
+		if err != nil {
+			return false, err
+		}
+		db.Meter.Compare()
+		if !req.Where.Eval(v.Int) {
+			return false, nil
+		}
+	}
+	for i, f := range req.Filters {
+		v, err := db.Handles.Attr(h, filterIdxs[i])
+		if err != nil {
+			return false, err
+		}
+		db.Meter.Compare()
+		if !f.Eval(v.Int) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// project reads the projected attributes, charges the result append, and
+// hands the values to the row callback if one is set.
+func project(db *engine.Database, h *object.Handle, req Request, projIdxs []int) error {
+	var vals []object.Value
+	if req.OnRow != nil {
+		vals = make([]object.Value, 0, len(projIdxs))
+	}
+	for _, pi := range projIdxs {
+		v, err := db.Handles.Attr(h, pi)
+		if err != nil {
+			return err
+		}
+		if req.OnRow != nil {
+			vals = append(vals, v)
+		}
+	}
+	if len(projIdxs) > 0 {
+		db.Meter.ResultAppend()
+	}
+	if req.OnRow != nil {
+		return req.OnRow(vals)
+	}
+	return nil
+}
+
+// runFullScan is Figure 8's left column:
+//
+//	open scan on Patients
+//	for each Rid r returned by the scan
+//	  get Handle h
+//	  if get_att(h, num) > k add get_att(h, age) to the result
+//	  unreference h
+//
+// The scan creates and unreferences a Handle for every object in the
+// collection — the §4.3 cost the sorted index scan avoids.
+func runFullScan(db *engine.Database, req Request, whereIdx int, filterIdxs, projIdxs []int) (*Result, error) {
+	res := &Result{Access: FullScan}
+	err := req.Extent.File.Scan(db.Client, func(rid storage.Rid, rec []byte) (bool, error) {
+		if !db.Classes.Belongs(object.ClassID(rec), req.Extent.Class) {
+			return true, nil // shared file: other classes' objects
+		}
+		db.Meter.ScanNext()
+		h, err := db.Handles.Get(rid)
+		if err != nil {
+			return false, err
+		}
+		defer db.Handles.Unref(h)
+		ok, err := match(db, h, req, whereIdx, filterIdxs)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			if err := project(db, h, req, projIdxs); err != nil {
+				return false, err
+			}
+			res.Rows++
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = db.Meter.Elapsed()
+	res.Counters = db.Meter.Snapshot()
+	return res, nil
+}
+
+// runIndexScan is Figure 8's right column, with and without the
+// preliminary sort of the Rids returned by the index:
+//
+//	open index scan on (Patients, num > k)
+//	for each Rid r returned by the index scan add r to Table T
+//	sort T on Rids                              /* sorted variant only */
+//	for each r in T
+//	  get Handle h; add get_att(h, age) to the result; unreference h
+//
+// Handles are created only for the selected elements.
+func runIndexScan(db *engine.Database, req Request, whereIdx int, filterIdxs, projIdxs []int, sorted bool) (*Result, error) {
+	ix := db.IndexOn(req.Extent.Name, req.Where.Attr)
+	if ix == nil {
+		return nil, fmt.Errorf("selection: no index on %s.%s", req.Extent.Name, req.Where.Attr)
+	}
+	lo, hi, ok := req.Where.KeyRange()
+	if !ok {
+		return nil, fmt.Errorf("selection: operator %q not indexable", req.Where.Op)
+	}
+	access := IndexScan
+	if sorted {
+		access = SortedIndexScan
+	}
+	res := &Result{Access: access}
+
+	var rids []storage.Rid
+	err := ix.Tree.Scan(db.Client, lo, hi, func(e index.Entry) (bool, error) {
+		rids = append(rids, e.Rid)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sorted {
+		db.Meter.Sort(int64(len(rids)))
+		sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+		res.SortedRids = len(rids)
+	}
+	// With sorted Rids the upcoming pages are known ahead of time: batch
+	// their fetches into fewer RPCs when the pager supports it.
+	var pf storage.Prefetcher
+	batch := 1
+	if sorted {
+		if p, ok := storage.Pager(db.Client).(storage.Prefetcher); ok && p.ReadAheadBatch() > 1 {
+			pf = p
+			batch = p.ReadAheadBatch()
+		}
+	}
+	var pages []storage.PageID
+	if pf != nil {
+		for _, rid := range rids {
+			if len(pages) == 0 || pages[len(pages)-1] != rid.Page {
+				pages = append(pages, rid.Page)
+			}
+		}
+	}
+	pageIdx, nextPrefetch := 0, 0
+	for _, rid := range rids {
+		if pf != nil {
+			for pageIdx < len(pages) && pages[pageIdx] != rid.Page {
+				pageIdx++
+			}
+			if pageIdx >= nextPrefetch {
+				hi := pageIdx + batch
+				if hi > len(pages) {
+					hi = len(pages)
+				}
+				pf.Prefetch(pages[pageIdx:hi])
+				nextPrefetch = hi
+			}
+		}
+		h, err := db.Handles.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		if len(req.Filters) > 0 {
+			ok, err = matchFilters(db, h, req, filterIdxs)
+			if err != nil {
+				db.Handles.Unref(h)
+				return nil, err
+			}
+		}
+		if ok {
+			if err := project(db, h, req, projIdxs); err != nil {
+				db.Handles.Unref(h)
+				return nil, err
+			}
+			res.Rows++
+		}
+		db.Handles.Unref(h)
+	}
+	res.Elapsed = db.Meter.Elapsed()
+	res.Counters = db.Meter.Snapshot()
+	return res, nil
+}
+
+// matchFilters evaluates only the filter predicates (the index already
+// enforced Where).
+func matchFilters(db *engine.Database, h *object.Handle, req Request, filterIdxs []int) (bool, error) {
+	for i, f := range req.Filters {
+		v, err := db.Handles.Attr(h, filterIdxs[i])
+		if err != nil {
+			return false, err
+		}
+		db.Meter.Compare()
+		if !f.Eval(v.Int) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,195 @@
+// Package shell implements the interactive OQL shell behind cmd/oqlsh: a
+// line-oriented REPL over one database, with dot-commands for plans, cache
+// temperature, schema inspection and optimizer strategy. It is a package
+// (rather than living in main) so the full command surface is testable.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"treebench/internal/engine"
+	"treebench/internal/oql"
+)
+
+// Shell is one REPL session.
+type Shell struct {
+	DB      *engine.Database
+	Planner *oql.Planner
+	// Cold, when true (the default), cold-restarts the caches before
+	// each query — the paper's measurement discipline.
+	Cold bool
+	// Prompt is printed before each input line; empty disables it (for
+	// scripted use).
+	Prompt string
+	// MaxRows caps how many sample rows a query prints.
+	MaxRows int
+}
+
+// New returns a shell over db using the cost-based strategy.
+func New(db *engine.Database) *Shell {
+	return &Shell{
+		DB:      db,
+		Planner: &oql.Planner{DB: db, Strategy: oql.CostBased},
+		Cold:    true,
+		Prompt:  "oql> ",
+		MaxRows: 10,
+	}
+}
+
+// Run reads statements from r until EOF or .quit, writing results to w.
+// Statements may span lines and end with ';' (or a lone line for
+// dot-commands).
+func (sh *Shell) Run(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if sh.Prompt != "" {
+			fmt.Fprint(w, sh.Prompt)
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if sh.Command(trimmed, w) {
+				return sc.Err()
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		if trimmed != "" && !strings.HasSuffix(trimmed, ";") {
+			continue
+		}
+		stmt := strings.TrimSpace(pending.String())
+		pending.Reset()
+		stmt = strings.TrimSuffix(stmt, ";")
+		stmt = strings.TrimSpace(stmt)
+		if stmt != "" {
+			sh.Query(stmt, w)
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+// Command executes one dot-command, reporting whether the shell should
+// quit.
+func (sh *Shell) Command(cmd string, w io.Writer) (quit bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".cold":
+		sh.Cold = true
+		fmt.Fprintln(w, "cold restart before each query")
+	case ".warm":
+		sh.Cold = false
+		fmt.Fprintln(w, "caches stay warm between queries")
+	case ".strategy":
+		if len(fields) == 2 && strings.HasPrefix(fields[1], "heur") {
+			sh.Planner.Strategy = oql.Heuristic
+		} else {
+			sh.Planner.Strategy = oql.CostBased
+		}
+		fmt.Fprintln(w, "strategy:", sh.Planner.Strategy)
+	case ".schema":
+		sh.schema(w)
+	case ".stats":
+		sh.stats(w)
+	case ".explain":
+		src := strings.TrimSpace(strings.TrimPrefix(cmd, ".explain"))
+		ast, err := oql.Parse(src)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return false
+		}
+		plan, err := sh.Planner.Plan(ast)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return false
+		}
+		fmt.Fprintln(w, plan.Explain())
+	case ".help":
+		fmt.Fprintln(w, "commands: .explain <query>  .cold  .warm  .schema  .stats  .strategy cost|heuristic  .quit")
+	default:
+		fmt.Fprintf(w, "unknown command %s (try .help)\n", fields[0])
+	}
+	return false
+}
+
+// schema prints extents, attributes and indexes.
+func (sh *Shell) schema(w io.Writer) {
+	for _, name := range sh.DB.Extents() {
+		e, _ := sh.DB.Extent(name)
+		fmt.Fprintf(w, "%s (class %s, %d objects, %d pages)\n",
+			name, e.Class.Name, e.Count, e.File.NumPages())
+		for _, a := range e.Class.Attrs {
+			suffix := ""
+			if ix := sh.DB.IndexOn(name, a.Name); ix != nil {
+				suffix = "  [indexed"
+				if ix.Clustered {
+					suffix += ", clustered"
+				}
+				suffix += "]"
+			}
+			fmt.Fprintf(w, "  %-24s %v%s\n", a.Name, a.Kind, suffix)
+		}
+	}
+}
+
+// stats prints index statistics (histograms) for every indexed attribute.
+func (sh *Shell) stats(w io.Writer) {
+	for _, name := range sh.DB.Extents() {
+		e, _ := sh.DB.Extent(name)
+		for _, ix := range e.Indexes() {
+			h, err := ix.Stats(sh.DB.Client)
+			if err != nil || h == nil {
+				fmt.Fprintf(w, "%s.%s: no statistics\n", name, ix.Attr)
+				continue
+			}
+			fmt.Fprintf(w, "%s.%s: %d keys in [%d, %d], %d buckets\n",
+				name, ix.Attr, h.Total(), h.Min(), h.Max(), h.Buckets())
+		}
+	}
+}
+
+// Query runs one OQL statement and prints its plan, sample rows,
+// aggregates and counters.
+func (sh *Shell) Query(src string, w io.Writer) {
+	if sh.Cold {
+		sh.DB.ColdRestart()
+	}
+	res, err := sh.Planner.Query(src)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	fmt.Fprintln(w, res.Plan.Explain())
+	for _, a := range res.Aggregates {
+		fmt.Fprintf(w, "  %s = %g\n", a.Label, a.Value)
+	}
+	for i, row := range res.Sample {
+		if i == sh.MaxRows {
+			fmt.Fprintf(w, "  ... (%d more rows)\n", res.Rows-sh.MaxRows)
+			break
+		}
+		fmt.Fprint(w, "  ")
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprint(w, v)
+		}
+		fmt.Fprintln(w)
+	}
+	n := res.Counters
+	fmt.Fprintf(w, "%d rows in %.2fs simulated (pages read %d, RPCs %d, client miss %.0f%%)\n",
+		res.Rows, res.Elapsed.Seconds(), n.DiskReads, n.RPCs, n.ClientMissRate())
+}

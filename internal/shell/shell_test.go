@@ -1,0 +1,131 @@
+package shell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+func newShell(t *testing.T) *Shell {
+	t.Helper()
+	d, err := derby.Generate(derby.DefaultConfig(20, 20, derby.ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := New(d.DB)
+	sh.Prompt = "" // scripted
+	return sh
+}
+
+func run(t *testing.T, sh *Shell, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := sh.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShellQueryAndRows(t *testing.T) {
+	sh := newShell(t)
+	out := run(t, sh, "select pa.mrn, pa.age from pa in Patients where pa.mrn < 4;\n")
+	for _, want := range []string{"selection on Patients", "3 rows in", "  1, "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellMultilineAndSampleCap(t *testing.T) {
+	sh := newShell(t)
+	sh.MaxRows = 2
+	out := run(t, sh, "select pa.mrn from pa in Patients\nwhere pa.mrn < 10\norder by pa.mrn desc;\n")
+	if !strings.Contains(out, "... (7 more rows)") {
+		t.Fatalf("row cap missing:\n%s", out)
+	}
+	if !strings.Contains(out, "  9\n  8\n") {
+		t.Fatalf("descending rows missing:\n%s", out)
+	}
+}
+
+func TestShellAggregates(t *testing.T) {
+	sh := newShell(t)
+	out := run(t, sh, "select sum(pa.mrn), avg(pa.mrn) from pa in Patients where pa.mrn < 5;\n")
+	if !strings.Contains(out, "sum(mrn) = 10") || !strings.Contains(out, "avg(mrn) = 2.5") {
+		t.Fatalf("aggregates missing:\n%s", out)
+	}
+}
+
+func TestShellCommands(t *testing.T) {
+	sh := newShell(t)
+	out := run(t, sh, strings.Join([]string{
+		".help",
+		".schema",
+		".stats",
+		".warm",
+		".strategy heuristic",
+		".explain select pa.age from pa in Patients where pa.num > 100",
+		".strategy cost",
+		".cold",
+		".bogus",
+		".quit",
+		"select count(*) from pa in Patients;", // never reached
+	}, "\n")+"\n")
+	for _, want := range []string{
+		"commands: .explain",
+		"Patients (class Patient",
+		"[indexed, clustered]",
+		"Patients.num:", "buckets",
+		"caches stay warm",
+		"strategy: heuristic",
+		"selection on Patients via index where num > 100 [heuristic]",
+		"strategy: cost-based",
+		"cold restart",
+		"unknown command .bogus",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rows in") {
+		t.Fatalf("statement after .quit executed:\n%s", out)
+	}
+}
+
+func TestShellErrorsAreReported(t *testing.T) {
+	sh := newShell(t)
+	out := run(t, sh, "select nothing;\n.explain select from x\n")
+	if strings.Count(out, "error:") != 2 {
+		t.Fatalf("errors not surfaced:\n%s", out)
+	}
+}
+
+func TestShellWarmModeKeepsCaches(t *testing.T) {
+	sh := newShell(t)
+	out := run(t, sh, ".warm\nselect count(*) from pa in Patients;\nselect count(*) from pa in Patients;\n")
+	// Two identical queries: the second reads no pages warm.
+	lines := strings.Split(out, "\n")
+	var pagesRead []string
+	for _, l := range lines {
+		if strings.Contains(l, "rows in") {
+			pagesRead = append(pagesRead, l)
+		}
+	}
+	if len(pagesRead) != 2 {
+		t.Fatalf("expected 2 result lines:\n%s", out)
+	}
+	if !strings.Contains(pagesRead[1], "pages read 0") {
+		t.Fatalf("warm rerun still read pages: %s", pagesRead[1])
+	}
+}
+
+func TestShellPromptPrinted(t *testing.T) {
+	sh := newShell(t)
+	sh.Prompt = "oql> "
+	out := run(t, sh, ".help\n")
+	if !strings.HasPrefix(out, "oql> ") {
+		t.Fatalf("prompt missing:\n%s", out)
+	}
+}

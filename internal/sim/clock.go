@@ -1,0 +1,38 @@
+// Package sim provides the deterministic hardware model that stands in for
+// the paper's Sparc 20 testbed: a simulated clock, a cost model with one
+// constant per charged operation, and a memory budget with swap accounting.
+//
+// Nothing in the engine reads the wall clock. Every operation that the
+// paper's analysis charges for (page reads, RPCs, handle management, hash
+// probes, sorting, comparisons) advances the simulated clock through a
+// Meter, so reported "elapsed time" is a pure function of the work done and
+// the constants below. The constants are calibrated so the paper's own
+// arithmetic holds (for example, §4.2's "802.15 seconds to scan the Patients
+// collection" and "about 250 seconds not spent on reads").
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a simulated clock. The zero value reads 0s.
+type Clock struct {
+	now time.Duration
+}
+
+// Advance moves the clock forward by d. Negative d panics: simulated time
+// never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// Now returns the current simulated time as a duration since the clock's
+// creation.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Reset rewinds the clock to zero. Used between experiment runs.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// Counters aggregates every event class the Figure 3 results schema reports,
+// plus the CPU-side events §4 analyzes.
+type Counters struct {
+	// Disk and cache traffic (Figure 3's Stat attributes).
+	DiskReads      int64 // D2SCreadpages: pages read disk → server cache
+	DiskWrites     int64 // dirty pages written back to disk
+	RPCs           int64 // RPCsnumber: client↔server messages
+	RPCBytes       int64 // RPCstotalsize
+	ServerHits     int64 // server-cache hits
+	ServerToClient int64 // SC2CCreadpages: pages read server → client cache
+	ClientHits     int64 // client-cache hits
+	ClientFaults   int64 // CCPagefaults: client-cache misses
+	LogPages       int64 // transaction-log pages written
+	Locks          int64 // lock-manager operations
+	// CPU-side events.
+	ScanNexts     int64
+	HandleGets    int64
+	HandleUnrefs  int64
+	AttrGets      int64
+	Compares      int64
+	HashInserts   int64
+	HashProbes    int64
+	ResultAppends int64
+	SortedElems   int64 // elements passed through Sort
+	// Swap traffic on oversized in-memory structures.
+	SwapReads  int64
+	SwapWrites int64
+}
+
+// ClientMissRate returns the client-cache miss percentage, 0 if no accesses.
+func (c *Counters) ClientMissRate() float64 {
+	total := c.ClientHits + c.ClientFaults
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.ClientFaults) / float64(total)
+}
+
+// ServerMissRate returns the server-cache miss percentage, 0 if no accesses.
+func (c *Counters) ServerMissRate() float64 {
+	total := c.ServerHits + c.DiskReads
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.DiskReads) / float64(total)
+}
+
+// Meter charges operations against a cost model, advancing a simulated clock
+// and maintaining counters. All engine layers share one Meter per session.
+type Meter struct {
+	Model CostModel
+	Clock Clock
+	N     Counters
+
+	slimHandles bool
+}
+
+// NewMeter returns a Meter over the given cost model.
+func NewMeter(m CostModel) *Meter {
+	return &Meter{Model: m}
+}
+
+// SetSlimHandles switches handle charging to the §4.4 compact-handle costs.
+func (m *Meter) SetSlimHandles(on bool) { m.slimHandles = on }
+
+// SlimHandles reports whether slim-handle charging is active.
+func (m *Meter) SlimHandles() bool { return m.slimHandles }
+
+// Elapsed returns the simulated time consumed so far.
+func (m *Meter) Elapsed() time.Duration { return m.Clock.Now() }
+
+// Reset zeroes the clock and all counters, keeping the model.
+func (m *Meter) Reset() {
+	m.Clock.Reset()
+	m.N = Counters{}
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *Meter) Snapshot() Counters { return m.N }
+
+func (m *Meter) DiskRead() {
+	m.N.DiskReads++
+	m.Clock.Advance(m.Model.PageRead)
+}
+
+func (m *Meter) DiskWrite() {
+	m.N.DiskWrites++
+	m.Clock.Advance(m.Model.PageWrite)
+}
+
+// RPC charges one client↔server message carrying n bytes.
+func (m *Meter) RPC(n int) {
+	m.N.RPCs++
+	m.N.RPCBytes += int64(n)
+	m.Clock.Advance(m.Model.RPC)
+}
+
+func (m *Meter) ServerHit()      { m.N.ServerHits++ }
+func (m *Meter) ServerToClient() { m.N.ServerToClient++ }
+func (m *Meter) ClientHit()      { m.N.ClientHits++ }
+func (m *Meter) ClientFault()    { m.N.ClientFaults++ }
+
+func (m *Meter) LogWrite() {
+	m.N.LogPages++
+	m.Clock.Advance(m.Model.LogWrite)
+}
+
+// Lock charges one lock-management operation (standard transaction mode).
+func (m *Meter) Lock() {
+	m.N.Locks++
+	m.Clock.Advance(m.Model.Lock)
+}
+
+// ScanNext charges the generic scan operator's per-object overhead.
+func (m *Meter) ScanNext() {
+	m.N.ScanNexts++
+	if m.slimHandles {
+		m.Clock.Advance(m.Model.SlimScanNext)
+	} else {
+		m.Clock.Advance(m.Model.ScanNext)
+	}
+}
+
+func (m *Meter) HandleGet() {
+	m.N.HandleGets++
+	if m.slimHandles {
+		m.Clock.Advance(m.Model.SlimHandleGet)
+	} else {
+		m.Clock.Advance(m.Model.HandleGet)
+	}
+}
+
+func (m *Meter) HandleUnref() {
+	m.N.HandleUnrefs++
+	if m.slimHandles {
+		m.Clock.Advance(m.Model.SlimHandleUnref)
+	} else {
+		m.Clock.Advance(m.Model.HandleUnref)
+	}
+}
+
+func (m *Meter) AttrGet() {
+	m.N.AttrGets++
+	m.Clock.Advance(m.Model.AttrGet)
+}
+
+func (m *Meter) Compare() {
+	m.N.Compares++
+	m.Clock.Advance(m.Model.Compare)
+}
+
+// Compares charges n comparisons in one step.
+func (m *Meter) Compares(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.N.Compares += n
+	m.Clock.Advance(time.Duration(n) * m.Model.Compare)
+}
+
+func (m *Meter) HashInsert() {
+	m.N.HashInserts++
+	m.Clock.Advance(m.Model.HashInsert)
+}
+
+func (m *Meter) HashProbe() {
+	m.N.HashProbes++
+	m.Clock.Advance(m.Model.HashProbe)
+}
+
+func (m *Meter) ResultAppend() {
+	m.N.ResultAppends++
+	if m.slimHandles {
+		m.Clock.Advance(m.Model.SlimResultAppend)
+	} else {
+		m.Clock.Advance(m.Model.ResultAppend)
+	}
+}
+
+// Sort charges an in-memory sort of n elements: n·⌈log₂n⌉ comparisons at
+// the sort rate. This is the cost of §4.2's "sort 1.8M Rids" step.
+func (m *Meter) Sort(n int64) {
+	if n <= 1 {
+		return
+	}
+	m.N.SortedElems += n
+	log2 := int64(bits.Len64(uint64(n - 1)))
+	m.Clock.Advance(time.Duration(n*log2) * m.Model.SortPerCompare)
+}
+
+func (m *Meter) SwapRead() {
+	m.N.SwapReads++
+	m.Clock.Advance(m.Model.SwapRead)
+}
+
+func (m *Meter) SwapWrite() {
+	m.N.SwapWrites++
+	m.Clock.Advance(m.Model.SwapWrite)
+}
+
+// String formats the counters as a compact single-line report.
+func (m *Meter) String() string {
+	var b strings.Builder
+	n := m.N
+	fmt.Fprintf(&b, "t=%.2fs io(r=%d w=%d) rpc=%d cc(hit=%d miss=%d) sc(hit=%d miss=%d)",
+		m.Elapsed().Seconds(), n.DiskReads, n.DiskWrites, n.RPCs,
+		n.ClientHits, n.ClientFaults, n.ServerHits, n.DiskReads)
+	fmt.Fprintf(&b, " handles=%d/%d hash(i=%d p=%d) swap(r=%d w=%d)",
+		n.HandleGets, n.HandleUnrefs, n.HashInserts, n.HashProbes, n.SwapReads, n.SwapWrites)
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkPageInsert(b *testing.B) {
+	rec := bytes.Repeat([]byte{7}, 90)
+	buf := make([]byte, PageSize)
+	p := NewPage(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Insert(rec); err != nil {
+			p = NewPage(buf) // page full: reformat and continue
+		}
+	}
+}
+
+func BenchmarkPageGet(b *testing.B) {
+	p := NewPage(make([]byte, PageSize))
+	var slots []uint16
+	for {
+		s, err := p.Insert(bytes.Repeat([]byte{1}, 90))
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Get(slots[i%len(slots)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileAppend(b *testing.B) {
+	s := NewStore(0)
+	f, _ := s.CreateFile("bench")
+	rec := bytes.Repeat([]byte{3}, 90)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Append(s.Disk, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileScan(b *testing.B) {
+	s := NewStore(0)
+	f, _ := s.CreateFile("bench")
+	for i := 0; i < 10000; i++ {
+		f.Append(s.Disk, bytes.Repeat([]byte{3}, 90))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		f.Scan(s.Disk, func(Rid, []byte) (bool, error) { n++; return true, nil })
+		if n != 10000 {
+			b.Fatal(n)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoPage is returned for reads of unallocated pages.
+var ErrNoPage = errors.New("storage: no such page")
+
+// Pager is the page-access interface the record layer runs on. The raw Disk
+// implements it without any cost accounting; the cache package wraps a Disk
+// in the two-level client/server cache that charges I/O, RPCs and cache
+// events to the session meter.
+type Pager interface {
+	// Read returns the content of page id. The returned slice aliases the
+	// resident copy; callers mutate it only via Write-notification, i.e.
+	// mutate then call Write(id).
+	Read(id PageID) ([]byte, error)
+	// Write marks page id dirty after its buffer has been mutated.
+	Write(id PageID) error
+	// Alloc creates a zeroed page and returns its id and buffer. The new
+	// page is born dirty.
+	Alloc() (PageID, []byte, error)
+}
+
+// Disk is the simulated disk: a flat array of 4 KB pages kept in process
+// memory. It stands in for the paper's 2 GB SCSI drive; its capacity check
+// even reproduces §3.1's "Buy Big!" lesson if you ask it to.
+type Disk struct {
+	pages    [][]byte
+	capacity int // max pages; 0 means unbounded
+}
+
+// NewDisk returns an empty disk. capacityBytes of 0 means unbounded;
+// otherwise allocation beyond the capacity fails like a full disk.
+func NewDisk(capacityBytes int64) *Disk {
+	d := &Disk{}
+	if capacityBytes > 0 {
+		d.capacity = int(capacityBytes / PageSize)
+	}
+	return d
+}
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Read implements Pager.
+func (d *Disk) Read(id PageID) ([]byte, error) {
+	if int(id) >= len(d.pages) {
+		return nil, fmt.Errorf("%w: %d", ErrNoPage, id)
+	}
+	return d.pages[id], nil
+}
+
+// Write implements Pager. On the raw disk the buffer is the storage, so
+// this is a no-op beyond validation.
+func (d *Disk) Write(id PageID) error {
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("%w: %d", ErrNoPage, id)
+	}
+	return nil
+}
+
+// Alloc implements Pager.
+func (d *Disk) Alloc() (PageID, []byte, error) {
+	if d.capacity > 0 && len(d.pages) >= d.capacity {
+		return 0, nil, fmt.Errorf("storage: disk full (%d pages): buy big, think sum not max", d.capacity)
+	}
+	buf := make([]byte, PageSize)
+	d.pages = append(d.pages, buf)
+	return PageID(len(d.pages) - 1), buf, nil
+}

@@ -1,0 +1,318 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// reservePerPage is the free space the engine leaves in each page when
+// appending, "to deal with growing strings or collections" (§2). It is what
+// makes a 10⁶×3 database occupy about 33,000 provider pages and 49,000
+// patient pages, as the paper computes.
+const reservePerPage = (PageSize - pageHeaderLen) / 10
+
+// ErrBadFile is returned when a file name is unknown or already taken.
+var ErrBadFile = errors.New("storage: bad file")
+
+// File is a heap file: an ordered list of pages with an append cursor.
+// Objects of one class (class clustering), the whole database (random
+// organization) or a parent with its children (composition clustering) all
+// live in Files; the layout difference is purely in who appends what, when.
+type File struct {
+	Name  string
+	Pages []PageID
+
+	// appendPage is the index in Pages that Append last used; earlier
+	// pages are considered closed (their reserve is for growth, not new
+	// records).
+	appendPage int
+}
+
+// NumPages returns the number of pages in the file.
+func (f *File) NumPages() int { return len(f.Pages) }
+
+// Append stores rec at the end of the file and returns its Rid. Pages are
+// closed once their free space drops under the per-page reserve.
+func (f *File) Append(p Pager, rec []byte) (Rid, error) {
+	if len(rec) > maxRecord-reservePerPage {
+		return Rid{}, fmt.Errorf("storage: record of %d bytes too large for a heap page", len(rec))
+	}
+	if f.appendPage < len(f.Pages) {
+		id := f.Pages[f.appendPage]
+		buf, err := p.Read(id)
+		if err != nil {
+			return Rid{}, err
+		}
+		page := LoadPage(buf)
+		if page.FreeSpace()-len(rec) >= reservePerPage {
+			slot, err := page.Insert(rec)
+			if err == nil {
+				if err := p.Write(id); err != nil {
+					return Rid{}, err
+				}
+				return Rid{Page: id, Slot: slot}, nil
+			}
+			if !errors.Is(err, ErrPageFull) {
+				return Rid{}, err
+			}
+		}
+	}
+	id, buf, err := p.Alloc()
+	if err != nil {
+		return Rid{}, err
+	}
+	page := NewPage(buf)
+	slot, err := page.Insert(rec)
+	if err != nil {
+		return Rid{}, err
+	}
+	if err := p.Write(id); err != nil {
+		return Rid{}, err
+	}
+	f.Pages = append(f.Pages, id)
+	f.appendPage = len(f.Pages) - 1
+	return Rid{Page: id, Slot: slot}, nil
+}
+
+// Get returns the record at rid, following at most one forwarding stub (a
+// relocated record is never relocated to another stub). The extra page read
+// a stub causes is charged naturally through the Pager.
+func Get(p Pager, rid Rid) ([]byte, error) {
+	if rid.IsNil() {
+		return nil, fmt.Errorf("%w: nil rid", ErrNoRecord)
+	}
+	buf, err := p.Read(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, forwarded, err := LoadPage(buf).Get(rid.Slot)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", rid, err)
+	}
+	if !forwarded {
+		return rec, nil
+	}
+	target, err := DecodeRid(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = p.Read(target.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, forwarded, err = LoadPage(buf).Get(target.Slot)
+	if err != nil {
+		return nil, fmt.Errorf("%s→%s: %w", rid, target, err)
+	}
+	if forwarded {
+		return nil, fmt.Errorf("storage: double forwarding at %s", rid)
+	}
+	return rec, nil
+}
+
+// Update replaces the record at rid. If the new record no longer fits in
+// its page, it is relocated to the end of the file — "maybe far from their
+// owner" (§5.2) — behind a forwarding stub, and relocated reports true.
+// This is the mechanism that §3.2's index-after-load blunder triggers for
+// every object in a collection.
+func (f *File) Update(p Pager, rid Rid, rec []byte) (relocated bool, err error) {
+	buf, err := p.Read(rid.Page)
+	if err != nil {
+		return false, err
+	}
+	page := LoadPage(buf)
+	old, forwarded, err := page.Get(rid.Slot)
+	if err != nil {
+		return false, err
+	}
+	if forwarded {
+		// Update the record at its relocated home instead.
+		target, err := DecodeRid(old)
+		if err != nil {
+			return false, err
+		}
+		tbuf, err := p.Read(target.Page)
+		if err != nil {
+			return false, err
+		}
+		tpage := LoadPage(tbuf)
+		if err := tpage.Update(target.Slot, rec); err == nil {
+			return false, p.Write(target.Page)
+		} else if !errors.Is(err, ErrPageFull) {
+			return false, err
+		}
+		tpage.Compact()
+		if err := tpage.Update(target.Slot, rec); err == nil {
+			return false, p.Write(target.Page)
+		} else if !errors.Is(err, ErrPageFull) {
+			return false, err
+		}
+		// The relocated record outgrew its second home too: move it
+		// again and retarget the original stub (never a chain of stubs),
+		// freeing the old copy.
+		newRid, err := f.Append(p, rec)
+		if err != nil {
+			return false, err
+		}
+		if err := tpage.Delete(target.Slot); err != nil {
+			return false, err
+		}
+		if err := p.Write(target.Page); err != nil {
+			return false, err
+		}
+		if err := page.SetForward(rid.Slot, newRid); err != nil {
+			return false, err
+		}
+		return true, p.Write(rid.Page)
+	}
+	if err := page.Update(rid.Slot, rec); err == nil {
+		return false, p.Write(rid.Page)
+	} else if !errors.Is(err, ErrPageFull) {
+		return false, err
+	}
+	page.Compact()
+	if err := page.Update(rid.Slot, rec); err == nil {
+		return false, p.Write(rid.Page)
+	} else if !errors.Is(err, ErrPageFull) {
+		return false, err
+	}
+	newRid, err := f.Append(p, rec)
+	if err != nil {
+		return false, err
+	}
+	if err := page.SetForward(rid.Slot, newRid); err != nil {
+		return false, err
+	}
+	return true, p.Write(rid.Page)
+}
+
+// Delete removes the record at rid (and its relocated copy, if forwarded).
+func Delete(p Pager, rid Rid) error {
+	buf, err := p.Read(rid.Page)
+	if err != nil {
+		return err
+	}
+	page := LoadPage(buf)
+	rec, forwarded, err := page.Get(rid.Slot)
+	if err != nil {
+		return err
+	}
+	if forwarded {
+		target, err := DecodeRid(rec)
+		if err != nil {
+			return err
+		}
+		tbuf, err := p.Read(target.Page)
+		if err != nil {
+			return err
+		}
+		tpage := LoadPage(tbuf)
+		if err := tpage.Delete(target.Slot); err != nil {
+			return err
+		}
+		if err := p.Write(target.Page); err != nil {
+			return err
+		}
+	}
+	if err := page.Delete(rid.Slot); err != nil {
+		return err
+	}
+	return p.Write(rid.Page)
+}
+
+// Prefetcher is the optional Pager capability scan operators use to batch
+// their upcoming page fetches into fewer RPCs.
+type Prefetcher interface {
+	ReadAheadBatch() int
+	Prefetch(ids []PageID)
+}
+
+// Scan calls fn for every live record in file order, skipping holes and
+// forwarding stubs (relocated records are visited at their new position, so
+// a relocation-scarred file is scanned out of logical order — the paper's
+// "this destroys the physical organization"). When the pager supports
+// prefetching, upcoming file pages are batched into single RPCs. Scanning
+// stops early if fn returns false or an error.
+func (f *File) Scan(p Pager, fn func(rid Rid, rec []byte) (bool, error)) error {
+	pf, _ := p.(Prefetcher)
+	batch := 1
+	if pf != nil {
+		batch = pf.ReadAheadBatch()
+	}
+	for pi, id := range f.Pages {
+		if batch > 1 && pi%batch == 0 {
+			hi := pi + batch
+			if hi > len(f.Pages) {
+				hi = len(f.Pages)
+			}
+			pf.Prefetch(f.Pages[pi:hi])
+		}
+		buf, err := p.Read(id)
+		if err != nil {
+			return err
+		}
+		page := LoadPage(buf)
+		n := page.NumSlots()
+		for s := 0; s < n; s++ {
+			rec, forwarded, err := page.Get(uint16(s))
+			if errors.Is(err, ErrNoRecord) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if forwarded {
+				continue
+			}
+			ok, err := fn(Rid{Page: id, Slot: uint16(s)}, rec)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Store is the catalog of files on one disk. File metadata lives in memory;
+// persisting the catalog itself is outside the scope of the reproduction.
+type Store struct {
+	Disk  *Disk
+	files map[string]*File
+	order []string
+}
+
+// NewStore returns a Store over a fresh disk of the given capacity
+// (0 = unbounded).
+func NewStore(capacityBytes int64) *Store {
+	return &Store{Disk: NewDisk(capacityBytes), files: make(map[string]*File)}
+}
+
+// CreateFile adds an empty file. It fails if the name is taken.
+func (s *Store) CreateFile(name string) (*File, error) {
+	if _, ok := s.files[name]; ok {
+		return nil, fmt.Errorf("%w: %q already exists", ErrBadFile, name)
+	}
+	f := &File{Name: name}
+	s.files[name] = f
+	s.order = append(s.order, name)
+	return f, nil
+}
+
+// File returns the named file.
+func (s *Store) File(name string) (*File, error) {
+	f, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q not found", ErrBadFile, name)
+	}
+	return f, nil
+}
+
+// Files returns the file names in creation order.
+func (s *Store) Files() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}

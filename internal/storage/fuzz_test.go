@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPageOps drives a page with an opcode stream against a shadow map —
+// the page must never corrupt records or panic. Run with
+// `go test -fuzz FuzzPageOps ./internal/storage`.
+func FuzzPageOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 2, 0, 5})
+	f.Add([]byte{0, 200, 0, 200, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		p := NewPage(make([]byte, PageSize))
+		shadow := map[uint16][]byte{}
+		i := 0
+		next := func() byte {
+			if i >= len(ops) {
+				return 0
+			}
+			b := ops[i]
+			i++
+			return b
+		}
+		for i < len(ops) {
+			switch next() % 4 {
+			case 0: // insert of size 8..263
+				size := int(next()) + 8
+				rec := bytes.Repeat([]byte{byte(size)}, size)
+				if s, err := p.Insert(rec); err == nil {
+					shadow[s] = rec
+				}
+			case 1: // delete some live slot
+				for s := range shadow {
+					if err := p.Delete(s); err != nil {
+						t.Fatalf("delete live slot %d: %v", s, err)
+					}
+					delete(shadow, s)
+					break
+				}
+			case 2: // update some live slot
+				size := int(next()) + 8
+				for s := range shadow {
+					rec := bytes.Repeat([]byte{byte(size + 1)}, size)
+					if err := p.Update(s, rec); err == nil {
+						shadow[s] = rec
+					}
+					break
+				}
+			case 3:
+				p.Compact()
+			}
+		}
+		for s, want := range shadow {
+			got, fwd, err := p.Get(s)
+			if err != nil || fwd || !bytes.Equal(got, want) {
+				t.Fatalf("slot %d corrupted: err=%v fwd=%v", s, err, fwd)
+			}
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestPage() *Page {
+	return NewPage(make([]byte, PageSize))
+}
+
+func TestPageInsertGet(t *testing.T) {
+	p := newTestPage()
+	recs := [][]byte{
+		[]byte("donald duck"),
+		[]byte("asterix"),
+		bytes.Repeat([]byte{0xAB}, 300),
+	}
+	slots := make([]uint16, len(recs))
+	for i, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		slots[i] = s
+	}
+	for i, r := range recs {
+		got, fwd, err := p.Get(slots[i])
+		if err != nil || fwd {
+			t.Fatalf("get %d: err=%v fwd=%v", i, err, fwd)
+		}
+		if !bytes.Equal(got, r) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if p.NumSlots() != 3 {
+		t.Fatalf("NumSlots = %d, want 3", p.NumSlots())
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := newTestPage()
+	rec := bytes.Repeat([]byte{1}, 1000)
+	inserted := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		inserted++
+	}
+	if inserted != 4 { // 4×1004 = 4016 ≤ 4080, a fifth cannot fit
+		t.Fatalf("inserted %d 1000-byte records, want 4", inserted)
+	}
+}
+
+func TestPageRejectsOversizedRecord(t *testing.T) {
+	p := newTestPage()
+	if _, err := p.Insert(make([]byte, PageSize)); err == nil {
+		t.Fatal("inserting a page-sized record should fail")
+	}
+}
+
+func TestPageDeleteAndSlotReuse(t *testing.T) {
+	p := newTestPage()
+	s0, _ := p.Insert([]byte("first"))
+	s1, _ := p.Insert([]byte("second"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Get(s0); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("deleted slot readable: %v", err)
+	}
+	if err := p.Delete(s0); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("double delete: %v", err)
+	}
+	s2, err := p.Insert([]byte("third"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s0 {
+		t.Fatalf("hole not reused: got slot %d, want %d", s2, s0)
+	}
+	if got, _, _ := p.Get(s1); string(got) != "second" {
+		t.Fatalf("neighbour record damaged: %q", got)
+	}
+}
+
+func TestPageUpdateInPlace(t *testing.T) {
+	p := newTestPage()
+	s, _ := p.Insert([]byte("aaaaaaaaaa"))
+	if err := p.Update(s, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := p.Get(s)
+	if string(got) != "bbbb" {
+		t.Fatalf("after shrink update: %q", got)
+	}
+	if err := p.Update(s, []byte("cccccccc")); err != nil {
+		t.Fatal(err) // grows but fits in free space
+	}
+	got, _, _ = p.Get(s)
+	if string(got) != "cccccccc" {
+		t.Fatalf("after grow update: %q", got)
+	}
+}
+
+func TestPageUpdateFullAndCompact(t *testing.T) {
+	p := newTestPage()
+	big := bytes.Repeat([]byte{7}, 2000)
+	s0, _ := p.Insert(big)
+	s1, err := p.Insert(bytes.Repeat([]byte{8}, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free space is now ~72 bytes. Growing s0 by 40 fails in place...
+	if err := p.Update(s0, bytes.Repeat([]byte{9}, 2040)); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("expected ErrPageFull, got %v", err)
+	}
+	// ...but after deleting s1 and compacting, it fits.
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	p.Compact()
+	if err := p.Update(s0, bytes.Repeat([]byte{9}, 2040)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := p.Get(s0)
+	if len(got) != 2040 || got[0] != 9 {
+		t.Fatalf("bad record after compacting update: len=%d", len(got))
+	}
+}
+
+func TestPageForwarding(t *testing.T) {
+	p := newTestPage()
+	s, _ := p.Insert([]byte("a record big enough"))
+	target := Rid{Page: 42, Slot: 7}
+	if err := p.SetForward(s, target); err != nil {
+		t.Fatal(err)
+	}
+	rec, fwd, err := p.Get(s)
+	if err != nil || !fwd {
+		t.Fatalf("err=%v fwd=%v", err, fwd)
+	}
+	got, err := DecodeRid(rec)
+	if err != nil || got != target {
+		t.Fatalf("forward target = %v, want %v", got, target)
+	}
+}
+
+func TestPageForwardTooSmall(t *testing.T) {
+	p := newTestPage()
+	s, _ := p.Insert([]byte("tiny"))
+	if err := p.SetForward(s, Rid{Page: 1}); err == nil {
+		t.Fatal("forwarding a 4-byte record should fail")
+	}
+}
+
+func TestCompactPreservesForwardFlag(t *testing.T) {
+	p := newTestPage()
+	s0, _ := p.Insert([]byte("forwarded record"))
+	s1, _ := p.Insert([]byte("plain"))
+	if err := p.SetForward(s0, Rid{Page: 9, Slot: 3}); err != nil {
+		t.Fatal(err)
+	}
+	p.Compact()
+	rec, fwd, err := p.Get(s0)
+	if err != nil || !fwd {
+		t.Fatalf("after compact: err=%v fwd=%v", err, fwd)
+	}
+	if r, _ := DecodeRid(rec); r != (Rid{Page: 9, Slot: 3}) {
+		t.Fatalf("forward target lost: %v", r)
+	}
+	if got, fwd2, _ := p.Get(s1); fwd2 || string(got) != "plain" {
+		t.Fatalf("plain record damaged: %q fwd=%v", got, fwd2)
+	}
+}
+
+// Property: any sequence of inserts/deletes/updates keeps records readable
+// and equal to the shadow map.
+func TestPageOperationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newTestPage()
+		shadow := map[uint16][]byte{}
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				rec := make([]byte, 8+rng.Intn(64))
+				rng.Read(rec)
+				s, err := p.Insert(rec)
+				if errors.Is(err, ErrPageFull) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				shadow[s] = rec
+			case 1: // delete a random live slot
+				for s := range shadow {
+					if p.Delete(s) != nil {
+						return false
+					}
+					delete(shadow, s)
+					break
+				}
+			case 2: // update a random live slot
+				for s := range shadow {
+					rec := make([]byte, 8+rng.Intn(64))
+					rng.Read(rec)
+					err := p.Update(s, rec)
+					if errors.Is(err, ErrPageFull) {
+						break
+					}
+					if err != nil {
+						return false
+					}
+					shadow[s] = rec
+					break
+				}
+			}
+			if rng.Intn(20) == 0 {
+				p.Compact()
+			}
+		}
+		for s, want := range shadow {
+			got, fwd, err := p.Get(s)
+			if err != nil || fwd || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidEncoding(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		r := Rid{Page: PageID(page), Slot: slot}
+		enc := r.Encode(nil)
+		if len(enc) != EncodedRidLen {
+			return false
+		}
+		dec, err := DecodeRid(enc)
+		return err == nil && dec == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRid([]byte{1, 2}); err == nil {
+		t.Fatal("short decode should fail")
+	}
+}
+
+func TestRidOrderingAndNil(t *testing.T) {
+	a := Rid{Page: 1, Slot: 5}
+	b := Rid{Page: 1, Slot: 6}
+	c := Rid{Page: 2, Slot: 0}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("Rid ordering broken")
+	}
+	if !NilRid.IsNil() || a.IsNil() {
+		t.Fatal("IsNil broken")
+	}
+	if NilRid.String() != "@nil" || a.String() != fmt.Sprintf("@%d.%d", 1, 5) {
+		t.Fatalf("String: %q %q", NilRid.String(), a.String())
+	}
+}

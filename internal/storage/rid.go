@@ -1,0 +1,82 @@
+// Package storage implements the page-level storage engine underneath the
+// object layer: 4 KB slotted pages, files (ordered page lists), a simulated
+// disk, and physical record identifiers (Rids).
+//
+// The layout mirrors what the paper describes of O2: objects are records
+// addressed by physical Rids, files keep some free space per page for
+// growing records, records that outgrow their page are relocated behind a
+// forwarding stub (the mechanism that makes §3.2's "index after load"
+// blunder expensive), and collections larger than a page live in a separate
+// file.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the unit of disk I/O and cache residency, as in O2.
+const PageSize = 4096
+
+// PageID identifies a page on the disk. Pages are numbered from zero in
+// allocation order; files remember which pages belong to them.
+type PageID uint32
+
+// InvalidPage is a PageID that no allocated page ever has.
+const InvalidPage = PageID(0xFFFFFFFF)
+
+// Rid is a physical record identifier: a page and a slot within it. It is
+// the "@p1"-style address of the paper's Figure 2. Rids are what indexes
+// store in their leaves and what inter-object references encode.
+type Rid struct {
+	Page PageID
+	Slot uint16
+}
+
+// NilRid is the zero-ish Rid used to encode a nil reference. Page
+// InvalidPage never exists, so NilRid can never address a record.
+var NilRid = Rid{Page: InvalidPage, Slot: 0xFFFF}
+
+// IsNil reports whether r is the nil reference.
+func (r Rid) IsNil() bool { return r == NilRid }
+
+// EncodedRidLen is the on-disk size of a Rid. The paper charges 8 bytes per
+// object identifier; we keep the same width (4 page + 2 slot + 2 reserved).
+const EncodedRidLen = 8
+
+// Encode appends the 8-byte representation of r to dst.
+func (r Rid) Encode(dst []byte) []byte {
+	var buf [EncodedRidLen]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(r.Page))
+	binary.LittleEndian.PutUint16(buf[4:6], r.Slot)
+	return append(dst, buf[:]...)
+}
+
+// DecodeRid reads a Rid from the first 8 bytes of src.
+func DecodeRid(src []byte) (Rid, error) {
+	if len(src) < EncodedRidLen {
+		return Rid{}, fmt.Errorf("storage: short rid encoding (%d bytes)", len(src))
+	}
+	return Rid{
+		Page: PageID(binary.LittleEndian.Uint32(src[0:4])),
+		Slot: binary.LittleEndian.Uint16(src[4:6]),
+	}, nil
+}
+
+// Less orders Rids by physical position (page, then slot). Sorting a batch
+// of Rids into this order before fetching is exactly the §4.2 "sorted index
+// scan" optimization.
+func (r Rid) Less(other Rid) bool {
+	if r.Page != other.Page {
+		return r.Page < other.Page
+	}
+	return r.Slot < other.Slot
+}
+
+// String renders the Rid in the paper's "@page.slot" style.
+func (r Rid) String() string {
+	if r.IsNil() {
+		return "@nil"
+	}
+	return fmt.Sprintf("@%d.%d", r.Page, r.Slot)
+}

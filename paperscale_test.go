@@ -1,0 +1,45 @@
+package treebench
+
+// Paper-scale verification: reruns a headline experiment at the paper's
+// full cardinality (2,000×1,000). Guarded behind an environment variable
+// because it costs ~10s of wall-clock; EXPERIMENTS.md records a manual
+// full-scale pass over F7 and F12.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+func TestPaperScaleF7(t *testing.T) {
+	if os.Getenv("TREEBENCH_PAPERSCALE") == "" {
+		t.Skip("set TREEBENCH_PAPERSCALE=1 to run the full 2,000×1,000 database")
+	}
+	r, err := NewRunner(RunnerConfig{SF: 1, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := r.Run("F7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scale-invariance claim: SF=1 values ≈ SF=10 values × 10.
+	r10, err := NewRunner(RunnerConfig{SF: 10, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab10, err := r10.Run("F7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		for _, col := range []int{1, 2} {
+			full, _ := strconv.ParseFloat(tab.Rows[i][col], 64)
+			tenth, _ := strconv.ParseFloat(tab10.Rows[i][col], 64)
+			if ratio := full / (tenth * 10); ratio < 0.97 || ratio > 1.03 {
+				t.Fatalf("row %d col %d: SF=1 %.1f vs SF=10×10 %.1f (ratio %.3f)",
+					i, col, full, tenth*10, ratio)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package treebench
+
+// Integration tests through the public facade: everything a downstream
+// user would touch, exercised end-to-end.
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallDataset(t *testing.T, cl Clustering) *Dataset {
+	t.Helper()
+	d, err := GenerateDerby(DerbyConfig(50, 20, cl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFacadeCustomSchema(t *testing.T) {
+	db := New(DefaultMachine(), DefaultCostModel(), NoTransaction)
+	cls := NewClass("City", []Attr{
+		{Name: "name", Kind: KindString, StrLen: 16},
+		{Name: "population", Kind: KindInt},
+	})
+	ext, err := db.CreateExtent("Cities", cls, "cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.CreateIndex(ext, "population", false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := db.Insert(nil, ext, []Value{
+			StringValue("city"), IntValue(int64(i * 1000)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	planner := NewPlanner(db, CostBased)
+	db.ColdRestart()
+	res, err := planner.Query(`select c.name from c in Cities where c.population >= 400000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 100 {
+		t.Fatalf("rows = %d, want 100", res.Rows)
+	}
+	if res.Elapsed <= 0 || res.Counters.DiskReads == 0 {
+		t.Fatal("no costs charged")
+	}
+}
+
+func TestFacadeDerbyAndJoin(t *testing.T) {
+	d := smallDataset(t, ClassCluster)
+	env := DerbyJoinEnv(d)
+	q := env.BySelectivity(50, 50)
+	want := -1
+	for _, algo := range []Algorithm{PHJ, CHJ, NOJOIN, NL, HHJ} {
+		d.DB.ColdRestart()
+		res, err := RunJoin(env, algo, q)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if want == -1 {
+			want = res.Tuples
+		} else if res.Tuples != want {
+			t.Fatalf("%s returned %d tuples, others %d", algo, res.Tuples, want)
+		}
+	}
+	if want <= 0 {
+		t.Fatal("no tuples")
+	}
+}
+
+func TestFacadeOQLTreeQueryMatchesDirectJoin(t *testing.T) {
+	d := smallDataset(t, ClassCluster)
+	env := DerbyJoinEnv(d)
+	q := env.BySelectivity(50, 50)
+	d.DB.ColdRestart()
+	direct, err := RunJoin(env, PHJ, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := NewPlanner(d.DB, CostBased)
+	d.DB.ColdRestart()
+	res, err := planner.Query(
+		`select p.name, pa.age from p in Providers, pa in p.clients ` +
+			`where pa.mrn < ` + itoa(q.K1) + ` and p.upin < ` + itoa(q.K2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != direct.Tuples {
+		t.Fatalf("OQL rows %d != direct join tuples %d", res.Rows, direct.Tuples)
+	}
+}
+
+func TestFacadeParseOQL(t *testing.T) {
+	q, err := ParseOQL(`select p.upin from p in Providers where p.upin < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "p.upin < 5") {
+		t.Fatalf("round trip: %s", q.String())
+	}
+	if _, err := ParseOQL(`select from nothing`); err == nil {
+		t.Fatal("bad OQL accepted")
+	}
+}
+
+func TestFacadeStatsRoundTrip(t *testing.T) {
+	sdb, err := OpenStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := StatEntry{Algo: "PHJ", Database: "test", Cluster: "class", Cold: true}
+	if _, err := sdb.Record(e); err != nil {
+		t.Fatal(err)
+	}
+	all, err := sdb.All()
+	if err != nil || len(all) != 1 || all[0].Algo != "PHJ" {
+		t.Fatalf("round trip: %v %v", all, err)
+	}
+}
+
+func TestFacadeRunnerSingleExperiment(t *testing.T) {
+	r, err := NewRunner(RunnerConfig{SF: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := r.Run("F7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "F7" || len(tab.Rows) != 4 {
+		t.Fatalf("table: %+v", tab)
+	}
+	ids := ExperimentIDs()
+	if len(ids) < 11 {
+		t.Fatalf("experiments: %v", ids)
+	}
+}
+
+func TestDeterminismAcrossRunners(t *testing.T) {
+	// The whole pipeline is deterministic: two independent runners
+	// produce byte-identical tables.
+	render := func() string {
+		r, err := NewRunner(RunnerConfig{SF: 100, Seed: 1997})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := r.Run("F11")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("nondeterministic tables:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func itoa(v int64) string {
+	var b [20]byte
+	i := len(b)
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
