@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench experiments experiments-full plots cover fuzz clean
+.PHONY: all build test race bench experiments experiments-full plots cover fuzz clean
 
 all: build test
 
@@ -11,6 +11,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The concurrency gate: the parallel experiment scheduler and every shared
+# cache under it must stay race-clean.
+race:
+	$(GO) test -race ./...
 
 # Regenerate every paper table/figure through the bench harness.
 bench:

@@ -17,6 +17,7 @@ package treebench
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"testing"
@@ -145,3 +146,50 @@ func BenchmarkPointerVsValue(b *testing.B) { benchExperiment(b, "V1") }
 // BenchmarkMeasureElapsed validates §3.5: elapsed time tracks I/Os except
 // where there is "a good reason".
 func BenchmarkMeasureElapsed(b *testing.B) { benchExperiment(b, "M1") }
+
+// runAllSeqSecs is the sequential baseline's per-op wall time, captured by
+// BenchmarkRunAllSequential so BenchmarkRunAllParallel (registered after
+// it) can report the wall-clock speedup as a custom metric.
+var runAllSeqSecs float64
+
+// benchRunAll measures a complete RunAll — every experiment, fresh runner
+// per iteration so no caches carry over — at the given worker count, and
+// returns the per-op wall seconds.
+func benchRunAll(b *testing.B, jobs int) float64 {
+	cfg := RunnerConfigFromEnv()
+	cfg.Jobs = jobs
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wall := time.Since(start).Seconds() / float64(b.N)
+	b.ReportMetric(wall, "wall-s/op")
+	return wall
+}
+
+// BenchmarkRunAllSequential is the full evaluation on one worker — the
+// pre-scheduler behavior, and the baseline for the speedup metric.
+func BenchmarkRunAllSequential(b *testing.B) { runAllSeqSecs = benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel is the full evaluation under the parallel
+// scheduler. When run together with BenchmarkRunAllSequential (any -bench
+// pattern matching both), it reports the wall-clock speedup as the custom
+// metric "speedup"; the tables themselves are byte-identical by
+// construction (simulated clocks).
+func BenchmarkRunAllParallel(b *testing.B) {
+	jobs := DefaultJobs()
+	if jobs < 4 {
+		jobs = 4 // keep the schedule parallel even on small CI machines
+	}
+	wall := benchRunAll(b, jobs)
+	if runAllSeqSecs > 0 && wall > 0 {
+		b.ReportMetric(runAllSeqSecs/wall, "speedup")
+	}
+}

@@ -4,13 +4,18 @@
 // Usage:
 //
 //	treebench -list
-//	treebench -run F12,F15 [-sf 10] [-v] [-hhj] [-csv results.csv] [-gnuplot plots/]
-//	treebench -all [-sf 1]
+//	treebench -run F12,F15 [-sf 10] [-j 4] [-v] [-hhj] [-csv results.csv] [-gnuplot plots/]
+//	treebench -all [-sf 1] [-j 8]
 //
 // The scale factor divides the paper's database cardinalities and the
 // machine's memory sizes (every ratio preserved); -sf 1 reproduces the full
 // 2,000×1,000 and 1,000,000×3 databases. Every measured run is also
 // recorded in the Figure 3 results database; -csv exports it.
+//
+// Independent experiments run concurrently on -j workers (default
+// min(NumCPU, 8), overridable with TREEBENCH_JOBS). Elapsed time is
+// simulated per database, so the tables are byte-identical at any -j;
+// only the wall clock changes.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		run     = flag.String("run", "", "comma-separated experiment ids to run")
 		all     = flag.Bool("all", false, "run every experiment")
 		sf      = flag.Int("sf", 0, "scale factor (default from TREEBENCH_SF or 10; 1 = paper scale)")
+		jobs    = flag.Int("j", 0, "concurrent experiments (default from TREEBENCH_JOBS or min(NumCPU, 8))")
 		seed    = flag.Int("seed", 1997, "data generator seed")
 		verbose = flag.Bool("v", false, "stream per-run progress")
 		hhj     = flag.Bool("hhj", false, "include the hybrid-hash extension in the join experiments")
@@ -48,6 +54,18 @@ func main() {
 	cfg := treebench.RunnerConfigFromEnv()
 	if *sf > 0 {
 		cfg.SF = *sf
+	}
+	jSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			jSet = true
+		}
+	})
+	if jSet {
+		if *jobs < 1 {
+			fatal(fmt.Errorf("-j %d: must be at least 1", *jobs))
+		}
+		cfg.Jobs = *jobs
 	}
 	cfg.Seed = int32(*seed)
 	cfg.EnableHHJ = *hhj
@@ -72,27 +90,31 @@ func main() {
 
 	fmt.Printf("treebench: scale factor %d (databases %d×1000 and %d×3), seed %d\n\n",
 		cfg.SF, 2000/cfg.SF, 1_000_000/cfg.SF, cfg.Seed)
-	for _, id := range ids {
-		table, err := runner.Run(strings.TrimSpace(id))
-		if err != nil {
-			fatal(err)
-		}
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	// Tables are emitted in the requested order as experiments complete on
+	// cfg.Jobs workers; the simulated clocks keep the output identical to a
+	// sequential run.
+	err = runner.RunMany(ids, cfg.Jobs, func(table *treebench.ResultTable) error {
 		table.Format(os.Stdout)
 		fmt.Println()
-		if *gnuplot != "" {
-			if err := os.MkdirAll(*gnuplot, 0o755); err != nil {
-				fatal(err)
-			}
-			datName := table.ID + ".dat"
-			if err := os.WriteFile(filepath.Join(*gnuplot, datName),
-				[]byte(table.GnuplotData()), 0o644); err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(filepath.Join(*gnuplot, table.ID+".gp"),
-				[]byte(table.GnuplotScript(datName)), 0o644); err != nil {
-				fatal(err)
-			}
+		if *gnuplot == "" {
+			return nil
 		}
+		if err := os.MkdirAll(*gnuplot, 0o755); err != nil {
+			return err
+		}
+		datName := table.ID + ".dat"
+		if err := os.WriteFile(filepath.Join(*gnuplot, datName),
+			[]byte(table.GnuplotData()), 0o644); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*gnuplot, table.ID+".gp"),
+			[]byte(table.GnuplotScript(datName)), 0o644)
+	})
+	if err != nil {
+		fatal(err)
 	}
 	if *gnuplot != "" {
 		fmt.Printf("wrote gnuplot data and scripts to %s (render with: gnuplot %s/<id>.gp)\n", *gnuplot, *gnuplot)

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"treebench/internal/derby"
 	"treebench/internal/join"
@@ -29,6 +31,10 @@ type Config struct {
 	// EnableHHJ adds the hybrid-hash extension as an extra column in the
 	// join experiments.
 	EnableHHJ bool
+	// Jobs bounds how many experiments the scheduler runs concurrently.
+	// Zero means DefaultJobs(); elapsed time is simulated per dataset, so
+	// results are bit-identical at any setting.
+	Jobs int
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
 }
@@ -40,15 +46,43 @@ const DefaultSF = 10
 // scale).
 const ScaleEnvVar = "TREEBENCH_SF"
 
-// ConfigFromEnv builds the default config, honoring ScaleEnvVar.
+// JobsEnvVar overrides the scheduler's worker count (TREEBENCH_JOBS=1
+// forces sequential execution).
+const JobsEnvVar = "TREEBENCH_JOBS"
+
+// DefaultJobs is the default scheduler width: one worker per CPU, capped at
+// 8 (past that, the per-dataset run locks serialize most extra workers).
+func DefaultJobs() int {
+	if n := runtime.NumCPU(); n < 8 {
+		return n
+	}
+	return 8
+}
+
+// ConfigFromEnv builds the default config, honoring ScaleEnvVar and
+// JobsEnvVar. Values below 1 (or non-numeric) are rejected and the default
+// kept.
 func ConfigFromEnv() Config {
-	cfg := Config{SF: DefaultSF, Seed: 1997}
+	cfg := Config{SF: DefaultSF, Seed: 1997, Jobs: DefaultJobs()}
 	if v := os.Getenv(ScaleEnvVar); v != "" {
 		if sf, err := strconv.Atoi(v); err == nil && sf >= 1 {
 			cfg.SF = sf
 		}
 	}
+	if v := os.Getenv(JobsEnvVar); v != "" {
+		if j, err := strconv.Atoi(v); err == nil && j >= 1 {
+			cfg.Jobs = j
+		}
+	}
 	return cfg
+}
+
+// jobs resolves the configured worker count.
+func (c Config) jobs() int {
+	if c.Jobs >= 1 {
+		return c.Jobs
+	}
+	return DefaultJobs()
 }
 
 // MachineForSF scales the paper's Sparc 20 memory geography down with the
@@ -145,14 +179,45 @@ type joinKey struct {
 	algo join.Algorithm
 }
 
+// dsEntry is one slot of the dataset cache. Generation runs under the
+// once (singleflight: concurrent experiments needing the same database
+// block on one generation; different databases generate in parallel).
+// runMu serializes use of the generated dataset's mutable engine state —
+// its sim.Meter, caches and Disk are single-threaded.
+type dsEntry struct {
+	once sync.Once
+	d    *derby.Dataset
+	err  error
+
+	runMu sync.Mutex
+}
+
+// runnerState is the cross-experiment shared state, split out so the
+// scheduler can hand each experiment a shallow per-experiment Runner view
+// (for log prefixes) over the same caches.
+type runnerState struct {
+	logMu sync.Mutex
+
+	dsMu     sync.Mutex
+	datasets map[dsKey]*dsEntry
+
+	joinMu   sync.Mutex
+	joinRuns map[joinKey]*join.Result
+}
+
 // Runner executes experiments, caching generated databases and join runs.
+// A Runner is safe for concurrent use: the parallel scheduler (RunMany)
+// runs independent experiments on separate goroutines.
 type Runner struct {
 	Config Config
 	// Stats records every measured run in the §3.3 results database.
 	Stats *stats.DB
 
-	datasets map[dsKey]*derby.Dataset
-	joinRuns map[joinKey]*join.Result
+	// expID prefixes verbose log lines when the scheduler interleaves
+	// several experiments' output ("" outside the scheduler).
+	expID string
+
+	shared *runnerState
 }
 
 // NewRunner returns a runner with an empty cache and a fresh results DB.
@@ -160,21 +225,42 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.SF < 1 {
 		return nil, fmt.Errorf("core: scale factor %d < 1", cfg.SF)
 	}
+	if cfg.Jobs < 0 {
+		return nil, fmt.Errorf("core: jobs %d < 1", cfg.Jobs)
+	}
 	sdb, err := stats.Open()
 	if err != nil {
 		return nil, err
 	}
 	return &Runner{
-		Config:   cfg,
-		Stats:    sdb,
-		datasets: make(map[dsKey]*derby.Dataset),
-		joinRuns: make(map[joinKey]*join.Result),
+		Config: cfg,
+		Stats:  sdb,
+		shared: &runnerState{
+			datasets: make(map[dsKey]*dsEntry),
+			joinRuns: make(map[joinKey]*join.Result),
+		},
 	}, nil
 }
 
-// logf writes progress when verbose.
+// withExperiment returns a view of r that tags verbose output with the
+// experiment id. The view shares r's caches, locks and stats.
+func (r *Runner) withExperiment(id string) *Runner {
+	view := *r
+	view.expID = id
+	return &view
+}
+
+// logf writes progress when verbose. Lines from concurrent experiments are
+// serialized and carry the experiment-id prefix.
 func (r *Runner) logf(format string, args ...any) {
-	if r.Config.Verbose != nil {
+	if r.Config.Verbose == nil {
+		return
+	}
+	r.shared.logMu.Lock()
+	defer r.shared.logMu.Unlock()
+	if r.expID != "" {
+		fmt.Fprintf(r.Config.Verbose, "[%s] "+format+"\n", append([]any{r.expID}, args...)...)
+	} else {
 		fmt.Fprintf(r.Config.Verbose, format+"\n", args...)
 	}
 }
@@ -195,32 +281,78 @@ func dbLabel(providers, avg int) string {
 	return fmt.Sprintf("%dx%d", providers, avg)
 }
 
-// dataset builds (or reuses) a database.
+// entry returns the cache slot for a database, creating it if needed.
+func (r *Runner) entry(key dsKey) *dsEntry {
+	s := r.shared
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	e, ok := s.datasets[key]
+	if !ok {
+		e = &dsEntry{}
+		s.datasets[key] = e
+	}
+	return e
+}
+
+// dataset builds (or reuses) a database. Generation is singleflight per
+// key: under the parallel scheduler, experiments that need the same
+// database share one generation while different databases generate
+// concurrently.
 func (r *Runner) dataset(providers, avg int, cl derby.Clustering) (*derby.Dataset, error) {
-	key := dsKey{providers, avg, cl}
-	if d, ok := r.datasets[key]; ok {
-		return d, nil
-	}
-	r.logf("generating %s database, %s clustering ...", dbLabel(providers, avg), cl)
-	cfg := derby.DefaultConfig(providers, avg, cl)
-	cfg.Seed = r.Config.Seed
-	cfg.Machine = MachineForSF(r.Config.SF)
-	// The 1:3 databases never use the num index; skipping it matches the
-	// paper's patient size there and halves generation time.
-	cfg.SkipNumIndex = avg < 100
-	d, err := derby.Generate(cfg)
+	e := r.entry(dsKey{providers, avg, cl})
+	e.once.Do(func() {
+		r.logf("generating %s database, %s clustering ...", dbLabel(providers, avg), cl)
+		cfg := derby.DefaultConfig(providers, avg, cl)
+		cfg.Seed = r.Config.Seed
+		cfg.Machine = MachineForSF(r.Config.SF)
+		// The 1:3 databases never use the num index; skipping it matches the
+		// paper's patient size there and halves generation time.
+		cfg.SkipNumIndex = avg < 100
+		e.d, e.err = derby.Generate(cfg)
+	})
+	return e.d, e.err
+}
+
+// lockDataset acquires the run lock serializing use of one cached
+// dataset's mutable engine state (meter, caches, disk) and returns the
+// unlock. Experiments must hold it around every direct engine access and
+// around coldJoin/coldSelection sequences, and must hold at most one
+// dataset lock at a time (that one-at-a-time rule is what makes the
+// scheduler deadlock-free).
+func (r *Runner) lockDataset(providers, avg int, cl derby.Clustering) (unlock func()) {
+	e := r.entry(dsKey{providers, avg, cl})
+	e.runMu.Lock()
+	return e.runMu.Unlock
+}
+
+// withDataset generates (or reuses) a database and runs fn with its run
+// lock held.
+func (r *Runner) withDataset(providers, avg int, cl derby.Clustering, fn func(d *derby.Dataset) error) error {
+	d, err := r.dataset(providers, avg, cl)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r.datasets[key] = d
-	return d, nil
+	defer r.lockDataset(providers, avg, cl)()
+	return fn(d)
+}
+
+// joinRunCount reports how many distinct cold join runs the memo holds.
+func (r *Runner) joinRunCount() int {
+	r.shared.joinMu.Lock()
+	defer r.shared.joinMu.Unlock()
+	return len(r.shared.joinRuns)
 }
 
 // coldJoin runs one algorithm cold, reusing a cached result if this exact
-// run happened before, and records it in the stats database.
+// run happened before, and records it in the stats database. The caller
+// must hold the dataset's run lock (which also guarantees the same key is
+// never computed twice concurrently, so the memo stays one-entry-per-run).
 func (r *Runner) coldJoin(d *derby.Dataset, key dsKey, selPat, selProv int, algo join.Algorithm) (*join.Result, error) {
 	jk := joinKey{ds: key, sel: [2]int{selPat, selProv}, algo: algo}
-	if res, ok := r.joinRuns[jk]; ok {
+	r.shared.joinMu.Lock()
+	res, ok := r.shared.joinRuns[jk]
+	r.shared.joinMu.Unlock()
+	if ok {
 		return res, nil
 	}
 	env := join.EnvForDerby(d)
@@ -230,7 +362,9 @@ func (r *Runner) coldJoin(d *derby.Dataset, key dsKey, selPat, selProv int, algo
 	if err != nil {
 		return nil, err
 	}
-	r.joinRuns[jk] = res
+	r.shared.joinMu.Lock()
+	r.shared.joinRuns[jk] = res
+	r.shared.joinMu.Unlock()
 	r.logf("  %-6s sel(pat=%d%%, prov=%d%%) %-11s t=%.2fs tuples=%d",
 		d.Clustering, selPat, selProv, algo, res.Elapsed.Seconds(), res.Tuples)
 	if r.Stats != nil {
@@ -252,11 +386,4 @@ func (r *Runner) coldJoin(d *derby.Dataset, key dsKey, selPat, selProv int, algo
 		}
 	}
 	return res, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

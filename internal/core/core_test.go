@@ -411,12 +411,12 @@ func TestJoinRunCacheReused(t *testing.T) {
 	if _, err := r.Fig11(); err != nil {
 		t.Fatal(err)
 	}
-	runs := len(r.joinRuns)
+	runs := r.joinRunCount()
 	if _, err := r.Fig11(); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.joinRuns) != runs {
-		t.Fatalf("re-running Fig11 added runs: %d → %d", runs, len(r.joinRuns))
+	if r.joinRunCount() != runs {
+		t.Fatalf("re-running Fig11 added runs: %d → %d", runs, r.joinRunCount())
 	}
 }
 

@@ -24,29 +24,31 @@ func (r *Runner) SortJoins() (*Table, error) {
 
 	for _, sc := range scales {
 		key := dsKey{sc[0], sc[1], derby.ClassCluster}
-		d, err := r.dataset(sc[0], sc[1], derby.ClassCluster)
+		err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
+			for _, sel := range selGrid {
+				bestAlgo := join.Algorithm("")
+				bestSec := 0.0
+				for _, algo := range []join.Algorithm{join.PHJ, join.CHJ} {
+					res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
+					if err != nil {
+						return err
+					}
+					if bestAlgo == "" || res.Elapsed.Seconds() < bestSec {
+						bestAlgo, bestSec = algo, res.Elapsed.Seconds()
+					}
+				}
+				smj, err := r.coldJoin(d, key, sel[0], sel[1], join.SMJ)
+				if err != nil {
+					return err
+				}
+				t.AddRow(dbLabel(sc[0], sc[1]), sel[0], sel[1],
+					string(bestAlgo), bestSec, smj.Elapsed.Seconds(),
+					smj.Elapsed.Seconds()/bestSec, smj.Swapped)
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
-		}
-		for _, sel := range selGrid {
-			bestAlgo := join.Algorithm("")
-			bestSec := 0.0
-			for _, algo := range []join.Algorithm{join.PHJ, join.CHJ} {
-				res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
-				if err != nil {
-					return nil, err
-				}
-				if bestAlgo == "" || res.Elapsed.Seconds() < bestSec {
-					bestAlgo, bestSec = algo, res.Elapsed.Seconds()
-				}
-			}
-			smj, err := r.coldJoin(d, key, sel[0], sel[1], join.SMJ)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(dbLabel(sc[0], sc[1]), sel[0], sel[1],
-				string(bestAlgo), bestSec, smj.Elapsed.Seconds(),
-				smj.Elapsed.Seconds()/bestSec, smj.Swapped)
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -74,67 +76,69 @@ func (r *Runner) OptimizerAccuracy() (*Table, error) {
 	for _, sc := range scales {
 		for _, cl := range []derby.Clustering{derby.ClassCluster, derby.RandomOrg, derby.CompositionCluster} {
 			key := dsKey{sc[0], sc[1], cl}
-			d, err := r.dataset(sc[0], sc[1], cl)
+			err := r.withDataset(sc[0], sc[1], cl, func(d *derby.Dataset) error {
+				for _, sel := range selGrid {
+					// Measure all four algorithms (cached across experiments).
+					times := map[join.Algorithm]float64{}
+					best := join.Algorithm("")
+					for _, algo := range join.Algorithms() {
+						res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
+						if err != nil {
+							return err
+						}
+						times[algo] = res.Elapsed.Seconds()
+						if best == "" || times[algo] < times[best] {
+							best = algo
+						}
+					}
+					// Ask both strategies.
+					env := join.EnvForDerby(d)
+					q := env.BySelectivity(sel[0], sel[1])
+					src := fmt.Sprintf(
+						"select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < %d and p.upin < %d",
+						q.K1, q.K2)
+					ast, err := oql.Parse(src)
+					if err != nil {
+						return err
+					}
+					pick := func(s oql.Strategy) (join.Algorithm, error) {
+						pl := &oql.Planner{DB: d.DB, Strategy: s}
+						plan, err := pl.Plan(ast)
+						if err != nil {
+							return "", err
+						}
+						return plan.Algorithm, nil
+					}
+					costPick, err := pick(oql.CostBased)
+					if err != nil {
+						return err
+					}
+					heurPick, err := pick(oql.Heuristic)
+					if err != nil {
+						return err
+					}
+					// A pick is a hit when it lands within 10% of the best.
+					hit := func(algo join.Algorithm) string {
+						if times[algo] <= times[best]*1.10 {
+							return "✓"
+						}
+						return fmt.Sprintf("✗ %.1fx", times[algo]/times[best])
+					}
+					ch, hh := hit(costPick), hit(heurPick)
+					if ch == "✓" {
+						costHits++
+					}
+					if hh == "✓" {
+						heurHits++
+					}
+					cells++
+					t.AddRow(dbLabel(sc[0], sc[1]), cl.String(), sel[0], sel[1],
+						string(best), string(costPick), ch, string(heurPick), hh)
+				}
+				return nil
+			})
 			if err != nil {
 				return nil, err
-			}
-			for _, sel := range selGrid {
-				// Measure all four algorithms (cached across experiments).
-				times := map[join.Algorithm]float64{}
-				best := join.Algorithm("")
-				for _, algo := range join.Algorithms() {
-					res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
-					if err != nil {
-						return nil, err
-					}
-					times[algo] = res.Elapsed.Seconds()
-					if best == "" || times[algo] < times[best] {
-						best = algo
-					}
-				}
-				// Ask both strategies.
-				env := join.EnvForDerby(d)
-				q := env.BySelectivity(sel[0], sel[1])
-				src := fmt.Sprintf(
-					"select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < %d and p.upin < %d",
-					q.K1, q.K2)
-				ast, err := oql.Parse(src)
-				if err != nil {
-					return nil, err
-				}
-				pick := func(s oql.Strategy) (join.Algorithm, error) {
-					pl := &oql.Planner{DB: d.DB, Strategy: s}
-					plan, err := pl.Plan(ast)
-					if err != nil {
-						return "", err
-					}
-					return plan.Algorithm, nil
-				}
-				costPick, err := pick(oql.CostBased)
-				if err != nil {
-					return nil, err
-				}
-				heurPick, err := pick(oql.Heuristic)
-				if err != nil {
-					return nil, err
-				}
-				// A pick is a hit when it lands within 10% of the best.
-				hit := func(algo join.Algorithm) string {
-					if times[algo] <= times[best]*1.10 {
-						return "✓"
-					}
-					return fmt.Sprintf("✗ %.1fx", times[algo]/times[best])
-				}
-				ch, hh := hit(costPick), hit(heurPick)
-				if ch == "✓" {
-					costHits++
-				}
-				if hh == "✓" {
-					heurHits++
-				}
-				cells++
-				t.AddRow(dbLabel(sc[0], sc[1]), cl.String(), sel[0], sel[1],
-					string(best), string(costPick), ch, string(heurPick), hh)
 			}
 		}
 	}

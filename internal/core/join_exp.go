@@ -29,23 +29,25 @@ func (r *Runner) Fig10() (*Table, error) {
 	for _, algo := range []join.Algorithm{join.PHJ, join.CHJ} {
 		for _, sc := range scales {
 			key := dsKey{sc[0], sc[1], derby.ClassCluster}
-			d, err := r.dataset(sc[0], sc[1], derby.ClassCluster)
+			err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
+				for _, sel := range [][2]int{{10, 10}, {90, 90}} {
+					res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
+					if err != nil {
+						return err
+					}
+					var formula float64
+					if algo == join.PHJ {
+						formula = float64(d.NumProviders) * float64(sel[1]) / 100 * 64
+					} else {
+						formula = float64(d.NumProviders)*60 + float64(d.NumPatients)*float64(sel[0])/100*8
+					}
+					t.AddRow(string(algo), d.NumProviders, d.Relationship(), sel[0], sel[1],
+						formula/(1<<20), float64(res.HashTableBytes)/(1<<20), res.Swapped)
+				}
+				return nil
+			})
 			if err != nil {
 				return nil, err
-			}
-			for _, sel := range [][2]int{{10, 10}, {90, 90}} {
-				res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
-				if err != nil {
-					return nil, err
-				}
-				var formula float64
-				if algo == join.PHJ {
-					formula = float64(d.NumProviders) * float64(sel[1]) / 100 * 64
-				} else {
-					formula = float64(d.NumProviders)*60 + float64(d.NumPatients)*float64(sel[0])/100*8
-				}
-				t.AddRow(string(algo), d.NumProviders, d.Relationship(), sel[0], sel[1],
-					formula/(1<<20), float64(res.HashTableBytes)/(1<<20), res.Swapped)
 			}
 		}
 	}
@@ -60,10 +62,6 @@ func (r *Runner) Fig10() (*Table, error) {
 // algorithms ranked by time with their ratio to the winner.
 func (r *Runner) joinGrid(id, title string, providers, avg int, cl derby.Clustering) (*Table, error) {
 	key := dsKey{providers, avg, cl}
-	d, err := r.dataset(providers, avg, cl)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:      id,
 		Title:   title,
@@ -73,24 +71,30 @@ func (r *Runner) joinGrid(id, title string, providers, avg int, cl derby.Cluster
 	if r.Config.EnableHHJ {
 		algos = append(algos, join.HHJ)
 	}
-	for _, sel := range selGrid {
-		type row struct {
-			algo join.Algorithm
-			sec  float64
-		}
-		var rows []row
-		for _, algo := range algos {
-			res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
-			if err != nil {
-				return nil, err
+	err := r.withDataset(providers, avg, cl, func(d *derby.Dataset) error {
+		for _, sel := range selGrid {
+			type row struct {
+				algo join.Algorithm
+				sec  float64
 			}
-			rows = append(rows, row{algo, res.Elapsed.Seconds()})
+			var rows []row
+			for _, algo := range algos {
+				res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row{algo, res.Elapsed.Seconds()})
+			}
+			sort.SliceStable(rows, func(i, j int) bool { return rows[i].sec < rows[j].sec })
+			best := rows[0].sec
+			for _, rw := range rows {
+				t.AddRow(sel[0], sel[1], string(rw.algo), rw.sec/best, rw.sec)
+			}
 		}
-		sort.SliceStable(rows, func(i, j int) bool { return rows[i].sec < rows[j].sec })
-		best := rows[0].sec
-		for _, rw := range rows {
-			t.AddRow(sel[0], sel[1], string(rw.algo), rw.sec/best, rw.sec)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -142,20 +146,22 @@ func (r *Runner) Fig15() (*Table, error) {
 
 	winner := func(providers, avg int, cl derby.Clustering, sel [2]int) (join.Algorithm, float64, error) {
 		key := dsKey{providers, avg, cl}
-		d, err := r.dataset(providers, avg, cl)
-		if err != nil {
-			return "", 0, err
-		}
 		bestAlgo := join.Algorithm("")
 		bestSec := 0.0
-		for _, algo := range join.Algorithms() {
-			res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
-			if err != nil {
-				return "", 0, err
+		err := r.withDataset(providers, avg, cl, func(d *derby.Dataset) error {
+			for _, algo := range join.Algorithms() {
+				res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
+				if err != nil {
+					return err
+				}
+				if bestAlgo == "" || res.Elapsed.Seconds() < bestSec {
+					bestAlgo, bestSec = algo, res.Elapsed.Seconds()
+				}
 			}
-			if bestAlgo == "" || res.Elapsed.Seconds() < bestSec {
-				bestAlgo, bestSec = algo, res.Elapsed.Seconds()
-			}
+			return nil
+		})
+		if err != nil {
+			return "", 0, err
 		}
 		return bestAlgo, bestSec, nil
 	}

@@ -24,36 +24,38 @@ func (r *Runner) MeasureElapsed() (*Table, error) {
 	divergent, swaps := 0, 0
 	for _, sc := range r.bothScales() {
 		key := dsKey{sc[0], sc[1], derby.ClassCluster}
-		d, err := r.dataset(sc[0], sc[1], derby.ClassCluster)
+		err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
+			for _, sel := range selGrid {
+				for _, algo := range join.Algorithms() {
+					res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
+					if err != nil {
+						return err
+					}
+					ioSec := float64(res.Counters.DiskReads) * d.DB.Meter.Model.PageRead.Seconds()
+					elapsed := res.Elapsed.Seconds()
+					ratio := elapsed / ioSec
+					reason := ""
+					// "Similar" means I/O-dominated: past 2x, something else
+					// (swap, result build, handle churn) is the story.
+					if ratio > 2 {
+						divergent++
+						if res.Swapped {
+							swaps++
+							reason = fmt.Sprintf("hash table %.1fMB swapped", float64(res.HashTableBytes)/(1<<20))
+						} else if res.Counters.ResultAppends > res.Counters.DiskReads*10 {
+							reason = "result construction dominates"
+						} else {
+							reason = "per-object CPU dominates"
+						}
+					}
+					t.AddRow(dbLabel(sc[0], sc[1]), sel[0], sel[1], string(algo),
+						elapsed, ioSec, ratio, reason)
+				}
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
-		}
-		for _, sel := range selGrid {
-			for _, algo := range join.Algorithms() {
-				res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
-				if err != nil {
-					return nil, err
-				}
-				ioSec := float64(res.Counters.DiskReads) * d.DB.Meter.Model.PageRead.Seconds()
-				elapsed := res.Elapsed.Seconds()
-				ratio := elapsed / ioSec
-				reason := ""
-				// "Similar" means I/O-dominated: past 2x, something else
-				// (swap, result build, handle churn) is the story.
-				if ratio > 2 {
-					divergent++
-					if res.Swapped {
-						swaps++
-						reason = fmt.Sprintf("hash table %.1fMB swapped", float64(res.HashTableBytes)/(1<<20))
-					} else if res.Counters.ResultAppends > res.Counters.DiskReads*10 {
-						reason = "result construction dominates"
-					} else {
-						reason = "per-object CPU dominates"
-					}
-				}
-				t.AddRow(dbLabel(sc[0], sc[1]), sel[0], sel[1], string(algo),
-					elapsed, ioSec, ratio, reason)
-			}
 		}
 	}
 	t.Notes = append(t.Notes,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // ExperimentInfo describes one runnable experiment for the CLI and docs.
@@ -50,27 +52,46 @@ func ExperimentIDs() []string {
 	return ids
 }
 
-// Run executes one experiment by id.
-func (r *Runner) Run(id string) (*Table, error) {
+// experimentsByID indexes the registry once; the registry is static, so
+// repeated Run calls skip the linear scan.
+var experimentsByID = sync.OnceValue(func() map[string]ExperimentInfo {
+	m := make(map[string]ExperimentInfo, len(Experiments()))
 	for _, e := range Experiments() {
-		if e.ID == id {
-			return e.Run(r)
-		}
+		m[e.ID] = e
 	}
-	known := ExperimentIDs()
-	sort.Strings(known)
-	return nil, fmt.Errorf("core: unknown experiment %q (known: %v)", id, known)
+	return m
+})
+
+// sortedKnownIDs renders the known ids, sorted, exactly once for the
+// unknown-experiment error.
+var sortedKnownIDs = sync.OnceValue(func() string {
+	ids := ExperimentIDs()
+	sort.Strings(ids)
+	return "[" + strings.Join(ids, " ") + "]"
+})
+
+// unknownExperiment is the error for an id not in the registry.
+func unknownExperiment(id string) error {
+	return fmt.Errorf("core: unknown experiment %q (known: %s)", id, sortedKnownIDs())
 }
 
-// RunAll executes every experiment in order, formatting each table to w.
-func (r *Runner) RunAll(w io.Writer) error {
-	for _, e := range Experiments() {
-		t, err := e.Run(r)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		t.Format(w)
-		fmt.Fprintln(w)
+// Run executes one experiment by id.
+func (r *Runner) Run(id string) (*Table, error) {
+	e, ok := experimentsByID()[id]
+	if !ok {
+		return nil, unknownExperiment(id)
 	}
-	return nil
+	return e.Run(r)
+}
+
+// RunAll executes every experiment, formatting each table to w in
+// presentation order. Independent experiments run concurrently on up to
+// Config.Jobs workers (default DefaultJobs()); the simulated clocks make
+// the output byte-identical to a sequential run.
+func (r *Runner) RunAll(w io.Writer) error {
+	return r.RunMany(ExperimentIDs(), r.Config.jobs(), func(t *Table) error {
+		t.Format(w)
+		_, err := fmt.Fprintln(w)
+		return err
+	})
 }

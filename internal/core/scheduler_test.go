@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+// runAllBytes runs every registered experiment on a fresh runner with the
+// given worker count and returns the concatenated rendered tables.
+func runAllBytes(t *testing.T, jobs int) []byte {
+	t.Helper()
+	r, err := NewRunner(Config{SF: 100, Seed: 1997, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelRunAllDeterministic is the regression gate for all
+// concurrency work: every experiment run once sequentially and once under
+// the parallel scheduler must render byte-identical tables, because
+// elapsed time is simulated per dataset and never touches the wall clock.
+func TestParallelRunAllDeterministic(t *testing.T) {
+	seq := runAllBytes(t, 1)
+	par := runAllBytes(t, 4)
+	if !bytes.Equal(seq, par) {
+		line := 1
+		for i := range seq {
+			if i >= len(par) || seq[i] != par[i] {
+				break
+			}
+			if seq[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("parallel (-j 4) output diverges from sequential at line %d\nsequential %d bytes, parallel %d bytes", line, len(seq), len(par))
+	}
+	if len(seq) == 0 {
+		t.Fatal("RunAll produced no output")
+	}
+}
+
+func TestRunManyEmitsInOrder(t *testing.T) {
+	r, err := NewRunner(Config{SF: 100, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"F7", "F6", "W1"}
+	var got []string
+	err = r.RunMany(ids, 3, func(tab *Table) error {
+		got = append(got, tab.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "F7,F6,W1" {
+		t.Fatalf("emit order %v, want the requested order %v", got, ids)
+	}
+}
+
+func TestRunManyRejectsBadInput(t *testing.T) {
+	r, err := NewRunner(Config{SF: 100, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := r.RunMany([]string{"F6", "NOPE"}, 2, func(*Table) error { ran = true; return nil }); err == nil {
+		t.Fatal("unknown id accepted")
+	} else if !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("unknown-id error does not name the id: %v", err)
+	}
+	if ran {
+		t.Fatal("experiments ran despite an unknown id")
+	}
+	if err := r.RunMany([]string{"F6"}, 0, func(*Table) error { return nil }); err == nil {
+		t.Fatal("jobs 0 accepted")
+	}
+}
+
+func TestRunManyEmitError(t *testing.T) {
+	r, err := NewRunner(Config{SF: 100, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("sink full")
+	calls := 0
+	err = r.RunMany([]string{"F6", "F7", "W1"}, 2, func(*Table) error {
+		calls++
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after failing, want 1", calls)
+	}
+}
+
+// TestSingleflightDatasetGeneration hammers the dataset cache from many
+// goroutines: all callers must see the same generated instance.
+func TestSingleflightDatasetGeneration(t *testing.T) {
+	r, err := NewRunner(Config{SF: 100, Seed: 1997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, a := r.smallScale()
+	const callers = 8
+	results := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := r.dataset(p, a, derby.ClassCluster)
+			if err != nil {
+				results[i] = err
+				return
+			}
+			results[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different dataset: %v vs %v", i, results[i], results[0])
+		}
+	}
+}
+
+// TestConfigFromEnvJobs checks the TREEBENCH_JOBS validation: values below
+// 1 (or garbage) keep the default.
+func TestConfigFromEnvJobs(t *testing.T) {
+	for _, tc := range []struct {
+		env  string
+		want int
+	}{
+		{"3", 3},
+		{"1", 1},
+		{"0", DefaultJobs()},
+		{"-2", DefaultJobs()},
+		{"lots", DefaultJobs()},
+	} {
+		t.Setenv(JobsEnvVar, tc.env)
+		if got := ConfigFromEnv().Jobs; got != tc.want {
+			t.Errorf("TREEBENCH_JOBS=%q: Jobs = %d, want %d", tc.env, got, tc.want)
+		}
+	}
+}

@@ -21,23 +21,25 @@ func (r *Runner) PointerVsValue() (*Table, error) {
 	scales := r.bothScales()
 	for _, sc := range scales {
 		key := dsKey{sc[0], sc[1], derby.ClassCluster}
-		d, err := r.dataset(sc[0], sc[1], derby.ClassCluster)
+		err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
+			for _, sel := range selGrid {
+				pres, err := r.coldJoin(d, key, sel[0], sel[1], join.NOJOIN)
+				if err != nil {
+					return err
+				}
+				vres, err := r.coldJoin(d, key, sel[0], sel[1], join.VNOJOIN)
+				if err != nil {
+					return err
+				}
+				t.AddRow(dbLabel(sc[0], sc[1]), sel[0], sel[1],
+					pres.Elapsed.Seconds(), vres.Elapsed.Seconds(),
+					vres.Elapsed.Seconds()/pres.Elapsed.Seconds(),
+					pres.Counters.DiskReads, vres.Counters.DiskReads)
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
-		}
-		for _, sel := range selGrid {
-			pres, err := r.coldJoin(d, key, sel[0], sel[1], join.NOJOIN)
-			if err != nil {
-				return nil, err
-			}
-			vres, err := r.coldJoin(d, key, sel[0], sel[1], join.VNOJOIN)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(dbLabel(sc[0], sc[1]), sel[0], sel[1],
-				pres.Elapsed.Seconds(), vres.Elapsed.Seconds(),
-				vres.Elapsed.Seconds()/pres.Elapsed.Seconds(),
-				pres.Counters.DiskReads, vres.Counters.DiskReads)
 		}
 	}
 	t.Notes = append(t.Notes,

@@ -128,13 +128,6 @@ func (d *Dataset) Relationship() string {
 	return fmt.Sprintf("1:%d", d.NumPatients/max(d.NumProviders, 1))
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Generate builds a database per cfg. The build is deterministic in
 // cfg.Seed.
 func Generate(cfg Config) (*Dataset, error) {

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"treebench/internal/engine"
@@ -62,10 +63,15 @@ func (e *Entry) FromCounters(elapsed time.Duration, n sim.Counters) {
 	e.SCMissRate = int(n.ServerMissRate())
 }
 
-// DB is the results database.
+// DB is the results database. Its methods are safe for concurrent use:
+// the underlying engine is single-threaded, so every operation serializes
+// on one mutex (experiments under the parallel scheduler record from many
+// goroutines). Callers reaching into Engine directly must do their own
+// locking.
 type DB struct {
 	Engine *engine.Database
 
+	mu      sync.Mutex
 	stats   *engine.Extent
 	queries *engine.Extent
 	systems *engine.Extent
@@ -151,6 +157,8 @@ func clip(s string, n int) string {
 // Record stores one experiment result, assigning it the next test number,
 // which is returned.
 func (s *DB) Record(e Entry) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.nextID++
 	id := s.nextID
 	qrid, err := s.Engine.Insert(nil, s.queries, []object.Value{
@@ -193,10 +201,20 @@ func (s *DB) Record(e Entry) (int, error) {
 }
 
 // Len returns the number of recorded results.
-func (s *DB) Len() int { return s.stats.Count }
+func (s *DB) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Count
+}
 
 // All returns every recorded entry, ordered by test number.
 func (s *DB) All() ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allLocked()
+}
+
+func (s *DB) allLocked() ([]Entry, error) {
 	var out []Entry
 	cls := s.stats.Class
 	err := s.stats.File.Scan(s.Engine.Client, func(rid storage.Rid, rec []byte) (bool, error) {
@@ -292,6 +310,8 @@ func (s *DB) decode(cls *object.Class, rec []byte) (Entry, error) {
 // OQL runs a query against the results database — §3.3's "a query language
 // can be used to extract the information you are looking for".
 func (s *DB) OQL(src string) (*oql.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	pl := &oql.Planner{DB: s.Engine, Strategy: oql.CostBased}
 	return pl.Query(src)
 }
@@ -299,6 +319,8 @@ func (s *DB) OQL(src string) (*oql.Result, error) {
 // Count returns the number of Stat rows matching a predicate via the
 // engine's selection machinery.
 func (s *DB) Count(attr string, op selection.Op, k int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res, err := selection.Run(s.Engine, selection.Request{
 		Extent: s.stats,
 		Where:  selection.Pred{Attr: attr, Op: op, K: k},
@@ -312,7 +334,9 @@ func (s *DB) Count(attr string, op selection.Op, k int64) (int, error) {
 // ExportCSV writes all entries as CSV — the input format for "data
 // analysis softwares" and Gnuplot.
 func (s *DB) ExportCSV(w io.Writer) error {
-	entries, err := s.All()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := s.allLocked()
 	if err != nil {
 		return err
 	}

@@ -274,12 +274,18 @@ type (
 )
 
 // NewRunner returns an experiment runner (databases are generated lazily
-// and cached across experiments).
+// and cached across experiments). The runner is safe for concurrent use;
+// Runner.RunMany and Runner.RunAll schedule independent experiments onto
+// RunnerConfig.Jobs workers, with byte-identical output at any worker
+// count (elapsed time is simulated, never wall clock).
 func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }
 
 // RunnerConfigFromEnv builds the default runner configuration, honoring
-// TREEBENCH_SF.
+// TREEBENCH_SF and TREEBENCH_JOBS.
 func RunnerConfigFromEnv() RunnerConfig { return core.ConfigFromEnv() }
+
+// DefaultJobs is the default experiment scheduler width: min(NumCPU, 8).
+func DefaultJobs() int { return core.DefaultJobs() }
 
 // ExperimentIDs lists the reproducible tables and figures.
 func ExperimentIDs() []string { return core.ExperimentIDs() }
