@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-full plots cover fuzz clean
+.PHONY: all build test race bench experiments experiments-full plots cover fuzz smoke clean
 
 all: build test
 
@@ -39,6 +39,11 @@ cover:
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/oql
 	$(GO) test -fuzz FuzzPageOps -fuzztime 30s ./internal/storage
+	$(GO) test -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire
+
+# End-to-end query-server smoke: treebenchd + oqlload vs oqlsh.
+smoke:
+	./scripts/server_smoke.sh
 
 clean:
 	rm -rf plots results.csv test_output.txt bench_output.txt

@@ -1,0 +1,209 @@
+// Command oqlload is a closed-loop load generator for treebenchd: C
+// clients each issue Q queries back-to-back over their own connection, and
+// the run reports aggregate throughput, wall-clock latency percentiles,
+// and the server's own counters — the multi-client measurement the OCB
+// line of benchmarks asks for and a single in-process shell cannot give.
+//
+// Usage:
+//
+//	oqlload [-addr 127.0.0.1:8629] -c 8 -n 20 [-e '<stmt;>'] [-f queries.oql]
+//	        [-warm] [-heuristic] [-maxrows 10] [-retries 20]
+//	oqlload -once -e '<stmt;>'     # run one query, print it like oqlsh -e
+//
+// With -f, statements (semicolon-terminated) are read from the file and
+// issued round-robin. -once renders the single result through the same
+// renderer oqlsh uses, so its output is byte-identical to the local shell
+// — that equivalence is what CI diffs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"treebench/internal/client"
+	"treebench/internal/session"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8629", "treebenchd address")
+		clients   = flag.Int("c", 8, "concurrent clients")
+		perClient = flag.Int("n", 20, "queries per client")
+		stmtFlag  = flag.String("e", "", "semicolon-terminated statement(s) to issue")
+		file      = flag.String("f", "", "file of semicolon-terminated statements, issued round-robin")
+		once      = flag.Bool("once", false, "run the first statement once and print its result (for diffing against oqlsh -e)")
+		warm      = flag.Bool("warm", false, "keep each session's caches warm between its queries")
+		heuristic = flag.Bool("heuristic", false, "use the legacy heuristic optimizer")
+		maxRows   = flag.Int("maxrows", 10, "sample rows fetched and printed per query")
+		retries   = flag.Int("retries", 20, "connect retries (the daemon may still be generating)")
+		ioTimeout = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+
+	stmts, err := statements(*stmtFlag, *file)
+	if err != nil {
+		fatal(err)
+	}
+	opts := client.Options{RetryAttempts: *retries, IOTimeout: *ioTimeout}
+	qopts := client.QueryOptions{Warm: *warm, Heuristic: *heuristic, MaxRows: *maxRows}
+
+	if *once {
+		c, err := client.Dial(*addr, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		res, err := c.Query(stmts[0], qopts)
+		if err != nil {
+			fatal(err)
+		}
+		session.WriteResult(os.Stdout, res, *maxRows)
+		return
+	}
+
+	if *clients < 1 || *perClient < 1 {
+		fatal(fmt.Errorf("-c %d -n %d: both must be at least 1", *clients, *perClient))
+	}
+
+	type clientReport struct {
+		ok, failed int
+		latencies  []time.Duration
+		simTotal   time.Duration
+		firstErr   error
+	}
+	reports := make([]clientReport, *clients)
+	var label string
+	var labelOnce sync.Once
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rep := &reports[id]
+			c, err := client.Dial(*addr, opts)
+			if err != nil {
+				rep.failed = *perClient
+				rep.firstErr = err
+				return
+			}
+			defer c.Close()
+			labelOnce.Do(func() { label = c.Label() })
+			for j := 0; j < *perClient; j++ {
+				stmt := stmts[(id**perClient+j)%len(stmts)]
+				t0 := time.Now()
+				res, err := c.Query(stmt, qopts)
+				if err != nil {
+					rep.failed++
+					if rep.firstErr == nil {
+						rep.firstErr = err
+					}
+					continue
+				}
+				rep.ok++
+				rep.latencies = append(rep.latencies, time.Since(t0))
+				rep.simTotal += res.Elapsed
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var ok, failed int
+	var all []time.Duration
+	var simTotal time.Duration
+	var firstErr error
+	for i := range reports {
+		ok += reports[i].ok
+		failed += reports[i].failed
+		all = append(all, reports[i].latencies...)
+		simTotal += reports[i].simTotal
+		if firstErr == nil {
+			firstErr = reports[i].firstErr
+		}
+	}
+
+	fmt.Printf("oqlload: %d clients × %d queries against %s (db %s)\n",
+		*clients, *perClient, *addr, label)
+	fmt.Printf("queries %d ok %d failed %d in %.2fs wall → %.1f q/s\n",
+		ok+failed, ok, failed, wall.Seconds(), float64(ok)/wall.Seconds())
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		fmt.Printf("wall latency   p50 %s  p95 %s  p99 %s  max %s\n",
+			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1].Round(time.Microsecond))
+		fmt.Printf("simulated time %.2fs total, %.2fs mean per query\n",
+			simTotal.Seconds(), simTotal.Seconds()/float64(ok))
+	}
+	if firstErr != nil {
+		fmt.Printf("first error: %v\n", firstErr)
+	}
+
+	// The server's own view: admission and latency counters.
+	if c, err := client.Dial(*addr, opts); err == nil {
+		if st, err := c.Stats(); err == nil {
+			fmt.Printf("server: served %d (errors %d) rejected %d timeouts %d, sessions %d, queue %d, replicas %d/%d busy\n",
+				st.Served, st.QueryErrors, st.Rejected, st.TimedOut,
+				st.ActiveSessions, st.QueueDepth, st.BusyReplicas, st.Replicas)
+			fmt.Printf("server wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
+				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
+			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",
+				st.SimP50ms, st.SimP95ms, st.SimP99ms, st.SimHist)
+		}
+		c.Close()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// pct reads the nearest-rank percentile from sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1].Round(time.Microsecond)
+}
+
+// statements resolves the query list from -e and/or -f; the default is the
+// paper's canonical tree query.
+func statements(inline, file string) ([]string, error) {
+	text := inline
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if text != "" {
+			text += ";"
+		}
+		text += string(b)
+	}
+	if strings.TrimSpace(text) == "" {
+		text = `select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100 and p.upin < 10`
+	}
+	var stmts []string
+	for _, s := range strings.Split(text, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			stmts = append(stmts, s)
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("no statements to run")
+	}
+	return stmts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oqlload:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	oqlsh [-providers 200] [-avg 50] [-clustering class] [-strategy cost]
+//	oqlsh -e 'select ... ;'   # non-interactive: run statements, then exit
+//	oqlsh -f script.oql       # non-interactive: run a script file
+//
+// In -e/-f mode only query output reaches stdout (progress goes to
+// stderr), the first failing statement stops the run, and the exit status
+// is non-zero on error — so shell output can be diffed against a
+// treebenchd server session in CI.
 //
 // Shell commands:
 //
@@ -23,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -37,8 +45,11 @@ func main() {
 		avg        = flag.Int("avg", 50, "average patients per provider")
 		clustering = flag.String("clustering", "class", "class, random, composition")
 		strategy   = flag.String("strategy", "cost", "optimizer strategy: cost, heuristic")
+		stmts      = flag.String("e", "", "run these semicolon-terminated statements and exit")
+		script     = flag.String("f", "", "run this script file and exit")
 	)
 	flag.Parse()
+	scripted := *stmts != "" || *script != ""
 
 	var cl treebench.Clustering
 	switch *clustering {
@@ -53,7 +64,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("generating %d providers × %d patients (%s clustering)...\n",
+	// Progress stays off stdout in scripted mode so stdout is exactly the
+	// query output.
+	progress := io.Writer(os.Stdout)
+	if scripted {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "generating %d providers × %d patients (%s clustering)...\n",
 		*providers, (*providers)*(*avg), cl)
 	d, err := treebench.GenerateDerby(treebench.DerbyConfig(*providers, *avg, cl))
 	if err != nil {
@@ -64,6 +81,33 @@ func main() {
 	if strings.HasPrefix(*strategy, "heur") {
 		sh.Planner.Strategy = oql.Heuristic
 	}
+
+	if scripted {
+		sh.Prompt = ""
+		if *stmts != "" {
+			src := *stmts
+			if !strings.HasSuffix(strings.TrimSpace(src), ";") {
+				src += ";"
+			}
+			if err := sh.Script(strings.NewReader(src), os.Stdout); err != nil {
+				os.Exit(1)
+			}
+		}
+		if *script != "" {
+			f, err := os.Open(*script)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oqlsh:", err)
+				os.Exit(1)
+			}
+			err = sh.Script(f, os.Stdout)
+			f.Close()
+			if err != nil {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	fmt.Println(`ready; try: select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100 and p.upin < 10;`)
 	fmt.Println(`type .help for commands`)
 	if err := sh.Run(os.Stdin, os.Stdout); err != nil {

@@ -1,0 +1,127 @@
+// Command treebenchd is the treebench query daemon: it serves one
+// generated Derby database over TCP to concurrent OQL clients, restoring
+// the client–server boundary the paper's O2 had (the engine itself stays
+// simulated and deterministic).
+//
+// Usage:
+//
+//	treebenchd [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
+//	           [-clustering class] [-seed 1997] [-replicas N]
+//	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s] [-v]
+//
+// The daemon keeps a pool of engine replicas (identical deterministic
+// copies of the configured database), so N sessions execute truly
+// concurrently; admission control bounds executing queries and rejects
+// past the bounded queue. SIGINT/SIGTERM drain gracefully: in-flight
+// queries finish and flush before the process exits.
+//
+// Query it with cmd/oqlload, or any internal/client user. Cold queries
+// (the default) return byte-identical output to the same statement in
+// `oqlsh -e` over the same database configuration.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"treebench/internal/core"
+	"treebench/internal/derby"
+	"treebench/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8629", "listen address")
+		providers  = flag.Int("providers", 200, "number of providers")
+		avg        = flag.Int("avg", 50, "average patients per provider")
+		clustering = flag.String("clustering", "class", "class, random, composition")
+		seed       = flag.Int("seed", 1997, "data generator seed")
+		replicas   = flag.Int("replicas", 0, "engine replicas (default from TREEBENCH_JOBS or min(NumCPU, 8))")
+		maxConc    = flag.Int("max-concurrent", 0, "admission limit on executing queries (default replicas)")
+		maxQueue   = flag.Int("max-queue", 64, "queries allowed to wait for admission before rejection")
+		timeout    = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget (queue wait + execution)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
+		verbose    = flag.Bool("v", false, "log sessions and lifecycle to stderr")
+	)
+	flag.Parse()
+
+	cl, err := parseClustering(*clustering)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := derby.DefaultConfig(*providers, *avg, cl)
+	cfg.Seed = int32(*seed)
+	label := fmt.Sprintf("%dx%d %s", *providers, (*providers)*(*avg), cl)
+
+	n := *replicas
+	if n == 0 {
+		n = core.JobsFromEnv(core.DefaultJobs())
+	}
+	scfg := server.Config{
+		Generate:      func() (*derby.Dataset, error) { return derby.Generate(cfg) },
+		Label:         label,
+		Replicas:      n,
+		MaxConcurrent: *maxConc,
+		MaxQueue:      *maxQueue,
+		QueryTimeout:  *timeout,
+	}
+	if *verbose {
+		scfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "treebenchd: "+format+"\n", args...)
+		}
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("treebenchd: generating %s database (%d replicas, lazily)...\n", label, n)
+	if err := srv.Warm(); err != nil {
+		fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	// The listener line comes from the server's log; print a stable ready
+	// line on stdout for scripts to wait on.
+	fmt.Printf("treebenchd: serving %s on %s\n", label, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && err != server.ErrServerClosed {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		fmt.Printf("treebenchd: %s, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		fmt.Println("treebenchd: drained, bye")
+	}
+}
+
+func parseClustering(s string) (derby.Clustering, error) {
+	switch s {
+	case "class":
+		return derby.ClassCluster, nil
+	case "random":
+		return derby.RandomOrg, nil
+	case "composition":
+		return derby.CompositionCluster, nil
+	default:
+		return 0, fmt.Errorf("unknown clustering %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "treebenchd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"treebench/internal/wire"
+)
+
+// serveHandshake accepts one connection on ln and answers its Hello.
+func serveHandshake(t *testing.T, ln net.Listener, label string) {
+	t.Helper()
+	c, err := ln.Accept()
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	typ, payload, err := wire.ReadFrame(c)
+	if err != nil || typ != wire.TypeHello {
+		t.Errorf("handshake: type %d, %v", typ, err)
+		return
+	}
+	if _, err := wire.DecodeHello(payload); err != nil {
+		t.Errorf("handshake: %v", err)
+		return
+	}
+	sh := &wire.ServerHello{Version: wire.Version, Label: label}
+	if err := wire.WriteFrame(c, wire.TypeServerHello, sh.Encode()); err != nil {
+		t.Errorf("handshake: %v", err)
+	}
+}
+
+// TestDialRetriesUntilServerUp pins the startup race the retry knob exists
+// for: the client starts dialing before anything listens, and succeeds once
+// the server comes up on the same address.
+func TestDialRetriesUntilServerUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here — yet
+
+	ready := make(chan struct{})
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		late, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("relisten: %v", err)
+			close(ready)
+			return
+		}
+		defer late.Close()
+		close(ready)
+		serveHandshake(t, late, "late db")
+	}()
+
+	cl, err := Dial(addr, Options{RetryAttempts: 40, RetryDelay: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial with retries: %v", err)
+	}
+	defer cl.Close()
+	<-ready
+	if cl.Label() != "late db" {
+		t.Fatalf("label = %q, want %q", cl.Label(), "late db")
+	}
+}
+
+// TestDialFailsWithoutRetries checks the default is fail-fast.
+func TestDialFailsWithoutRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, Options{ConnectTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("dial succeeded with no listener")
+	}
+}
+
+// TestDialRejectsWrongGreeting checks a server speaking garbage is reported
+// as a protocol error, not accepted.
+func TestDialRejectsWrongGreeting(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		wire.ReadFrame(c)
+		wire.WriteFrame(c, wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "go away"}).Encode())
+	}()
+	_, err = Dial(ln.Addr().String(), Options{ConnectTimeout: time.Second})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeProto {
+		t.Fatalf("want protocol ServerError, got %v", err)
+	}
+}

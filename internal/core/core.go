@@ -59,19 +59,27 @@ func DefaultJobs() int {
 	return 8
 }
 
+// JobsFromEnv resolves a worker/replica count from JobsEnvVar, returning
+// def when the variable is unset, non-numeric, or below 1. Every component
+// that sizes a concurrent pool (the experiment scheduler, treebenchd's
+// replica pool) resolves through this one helper.
+func JobsFromEnv(def int) int {
+	if v := os.Getenv(JobsEnvVar); v != "" {
+		if j, err := strconv.Atoi(v); err == nil && j >= 1 {
+			return j
+		}
+	}
+	return def
+}
+
 // ConfigFromEnv builds the default config, honoring ScaleEnvVar and
 // JobsEnvVar. Values below 1 (or non-numeric) are rejected and the default
 // kept.
 func ConfigFromEnv() Config {
-	cfg := Config{SF: DefaultSF, Seed: 1997, Jobs: DefaultJobs()}
+	cfg := Config{SF: DefaultSF, Seed: 1997, Jobs: JobsFromEnv(DefaultJobs())}
 	if v := os.Getenv(ScaleEnvVar); v != "" {
 		if sf, err := strconv.Atoi(v); err == nil && sf >= 1 {
 			cfg.SF = sf
-		}
-	}
-	if v := os.Getenv(JobsEnvVar); v != "" {
-		if j, err := strconv.Atoi(v); err == nil && j >= 1 {
-			cfg.Jobs = j
 		}
 	}
 	return cfg

@@ -137,6 +137,24 @@ func TestSingleflightDatasetGeneration(t *testing.T) {
 	}
 }
 
+// TestJobsFromEnv checks the exported helper directly: it is the one
+// reading of TREEBENCH_JOBS shared by the scheduler and treebenchd's
+// replica-count default.
+func TestJobsFromEnv(t *testing.T) {
+	t.Setenv(JobsEnvVar, "")
+	if got := JobsFromEnv(7); got != 7 {
+		t.Errorf("unset: JobsFromEnv(7) = %d, want 7", got)
+	}
+	t.Setenv(JobsEnvVar, "5")
+	if got := JobsFromEnv(7); got != 5 {
+		t.Errorf("set to 5: JobsFromEnv(7) = %d, want 5", got)
+	}
+	t.Setenv(JobsEnvVar, "0")
+	if got := JobsFromEnv(7); got != 7 {
+		t.Errorf("invalid 0: JobsFromEnv(7) = %d, want 7", got)
+	}
+}
+
 // TestConfigFromEnvJobs checks the TREEBENCH_JOBS validation: values below
 // 1 (or garbage) keep the default.
 func TestConfigFromEnvJobs(t *testing.T) {

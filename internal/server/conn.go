@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"treebench/internal/oql"
+	"treebench/internal/session"
+	"treebench/internal/wire"
+)
+
+// handshakeTimeout bounds how long a fresh connection may take to say
+// Hello before it is dropped.
+const handshakeTimeout = 10 * time.Second
+
+// conn is one session: a connection plus its protocol state. Requests are
+// handled strictly in order, and only the session goroutine writes to the
+// socket, so responses need no write lock.
+type conn struct {
+	srv *Server
+	c   net.Conn
+	bw  *bufio.Writer
+
+	// busy (guarded by srv.mu) marks a request in flight; Shutdown only
+	// force-closes idle connections.
+	busy bool
+
+	// pinned is the replica a warm session holds between queries. Only the
+	// session goroutine touches it.
+	pinned *replica
+}
+
+func (c *conn) serve() {
+	s := c.srv
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		if c.pinned != nil {
+			s.pool.release(c.pinned)
+			c.pinned = nil
+		}
+		c.c.Close()
+	}()
+	s.metrics.sessionOpened()
+	defer s.metrics.sessionClosed()
+
+	c.bw = bufio.NewWriter(c.c)
+	if !c.handshake() {
+		return
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(c.c)
+		if err != nil {
+			return // disconnect (or force-close during drain)
+		}
+		if !c.beginRequest() {
+			c.send(wire.TypeError, (&wire.Error{Code: wire.CodeShutdown, Msg: "server is draining"}).Encode())
+			return
+		}
+		ok := c.handle(typ, payload)
+		if !c.endRequest() || !ok {
+			return
+		}
+	}
+}
+
+// beginRequest marks the session busy, refusing new work while draining.
+func (c *conn) beginRequest() bool {
+	s := c.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+// endRequest clears busy, reporting whether the session should continue
+// (false during drain: the response is flushed, then the session closes).
+func (c *conn) endRequest() bool {
+	s := c.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.busy = false
+	return !s.draining
+}
+
+func (c *conn) handshake() bool {
+	c.c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	typ, payload, err := wire.ReadFrame(c.c)
+	if err != nil {
+		return false
+	}
+	c.c.SetReadDeadline(time.Time{})
+	if typ != wire.TypeHello {
+		c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "expected hello"}).Encode())
+		return false
+	}
+	h, err := wire.DecodeHello(payload)
+	if err != nil || h.Version != wire.Version {
+		c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "unsupported protocol version"}).Encode())
+		return false
+	}
+	return c.send(wire.TypeServerHello, (&wire.ServerHello{Version: wire.Version, Label: c.srv.cfg.Label}).Encode())
+}
+
+// handle dispatches one request, reporting whether the session survives it.
+func (c *conn) handle(typ byte, payload []byte) bool {
+	switch typ {
+	case wire.TypePing:
+		return c.send(wire.TypePong, nil)
+	case wire.TypeStatsReq:
+		return c.send(wire.TypeStats, c.srv.Stats().Encode())
+	case wire.TypeQuery:
+		q, err := wire.DecodeQuery(payload)
+		if err != nil {
+			c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: err.Error()}).Encode())
+			return false
+		}
+		return c.query(q)
+	default:
+		c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "unknown frame type"}).Encode())
+		return false
+	}
+}
+
+func (c *conn) send(typ byte, payload []byte) bool {
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		return false
+	}
+	return c.bw.Flush() == nil
+}
+
+func (c *conn) sendError(code byte, err error) bool {
+	return c.send(wire.TypeError, (&wire.Error{Code: code, Msg: err.Error()}).Encode())
+}
+
+// query admits, executes and answers one Query request.
+func (c *conn) query(q *wire.Query) bool {
+	s := c.srv
+	deadline := time.Now().Add(s.cfg.QueryTimeout)
+
+	release, code, err := s.admit(deadline)
+	if err != nil {
+		return c.sendError(code, err)
+	}
+
+	// Pick the engine. Warm sessions keep their pinned replica; everything
+	// else checks one out of the pool for the duration of the query.
+	r := c.pinned
+	fromPool := false
+	if r == nil {
+		r, err = s.pool.acquire(deadline)
+		if err != nil {
+			release()
+			s.metrics.reject()
+			return c.sendError(wire.CodeBusy, err)
+		}
+		fromPool = true
+	}
+	// A session's first warm query starts from a cold replica: the warm
+	// sequence is then a deterministic function of the session's own
+	// queries, whatever the replica served before.
+	if q.Warm && fromPool {
+		r.sess.DB.ColdRestart()
+	}
+	keepPin := q.Warm
+
+	type reply struct {
+		typ     byte
+		payload []byte
+	}
+	done := make(chan reply, 1)
+	s.execWg.Add(1)
+	go func() {
+		defer s.execWg.Done()
+		if s.beforeExecute != nil {
+			s.beforeExecute()
+		}
+		start := time.Now()
+		sess := r.sess
+		sess.Cold = !q.Warm
+		if q.Strategy == wire.StrategyHeuristic {
+			sess.Planner.Strategy = oql.Heuristic
+		} else {
+			sess.Planner.Strategy = oql.CostBased
+		}
+		res, err := sess.Execute(q.Stmt)
+		if err != nil {
+			s.metrics.record(time.Since(start), 0, true)
+			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}
+			return
+		}
+		s.metrics.record(time.Since(start), res.Elapsed, false)
+		wr := session.ToWire(res, int(q.MaxRows))
+		done <- reply{wire.TypeResult, wr.Encode()}
+	}()
+
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case rep := <-done:
+		if keepPin {
+			c.pinned = r
+		} else {
+			if c.pinned == r {
+				c.pinned = nil
+			}
+			s.pool.release(r)
+		}
+		release()
+		return c.send(rep.typ, rep.payload)
+	case <-t.C:
+		// The engine cannot be interrupted mid-query: answer the client
+		// now, and let a reaper return the replica and admission slot when
+		// the abandoned execution finishes. The replica is never pinned
+		// after a timeout — its cache state no longer matches what this
+		// session observed.
+		if c.pinned == r {
+			c.pinned = nil
+		}
+		s.metrics.timeout()
+		s.execWg.Add(1)
+		go func() {
+			defer s.execWg.Done()
+			<-done
+			s.pool.release(r)
+			release()
+		}()
+		return c.sendError(wire.CodeTimeout, errQueryTimeout(s.cfg.QueryTimeout))
+	}
+}
+
+func errQueryTimeout(d time.Duration) error {
+	return &timeoutError{d}
+}
+
+type timeoutError struct{ d time.Duration }
+
+func (e *timeoutError) Error() string {
+	return "server: query exceeded its " + e.d.String() + " budget"
+}

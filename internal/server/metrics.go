@@ -1,0 +1,117 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"treebench/internal/histogram"
+	"treebench/internal/wire"
+)
+
+// metrics is the server's counters snapshot source: lifecycle and admission
+// counters plus the two latency populations (wall-clock and simulated) that
+// back the .metrics-style Stats response. The simulated population is the
+// interesting one for the paper's methodology — it is deterministic per
+// query mix — while the wall population shows what the host actually did.
+type metrics struct {
+	mu          sync.Mutex
+	served      int64
+	queryErrors int64
+	rejected    int64
+	timedOut    int64
+	sessions    int64
+	wallUs      []int64 // wall latency per served query, microseconds
+	simMs       []int64 // simulated latency per served query, milliseconds
+}
+
+func (m *metrics) sessionOpened() {
+	m.mu.Lock()
+	m.sessions++
+	m.mu.Unlock()
+}
+
+func (m *metrics) sessionClosed() {
+	m.mu.Lock()
+	m.sessions--
+	m.mu.Unlock()
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) timeout() {
+	m.mu.Lock()
+	m.timedOut++
+	m.mu.Unlock()
+}
+
+// record notes one completed query execution.
+func (m *metrics) record(wall, simulated time.Duration, queryErr bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.served++
+	if queryErr {
+		m.queryErrors++
+		return
+	}
+	m.wallUs = append(m.wallUs, wall.Microseconds())
+	m.simMs = append(m.simMs, simulated.Milliseconds())
+}
+
+// snapshot renders the current state. Queue depth and replica occupancy are
+// read from the server's live gauges by the caller.
+func (m *metrics) snapshot(queueDepth, replicas, busyReplicas int64) *wire.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &wire.Stats{
+		Served:         m.served,
+		QueryErrors:    m.queryErrors,
+		Rejected:       m.rejected,
+		TimedOut:       m.timedOut,
+		ActiveSessions: m.sessions,
+		QueueDepth:     queueDepth,
+		Replicas:       replicas,
+		BusyReplicas:   busyReplicas,
+	}
+	s.WallP50us, s.WallP95us, s.WallP99us, s.WallHist = summarize(m.wallUs)
+	s.SimP50ms, s.SimP95ms, s.SimP99ms, s.SimHist = summarize(m.simMs)
+	return s
+}
+
+// summarize computes p50/p95/p99 and an equi-depth histogram over one
+// latency population. The input is copied: histogram.Build sorts in place
+// and the recorder keeps appending.
+func summarize(pop []int64) (p50, p95, p99 int64, hist string) {
+	if len(pop) == 0 {
+		return 0, 0, 0, ""
+	}
+	keys := make([]int64, len(pop))
+	copy(keys, pop)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	p50 = percentile(keys, 50)
+	p95 = percentile(keys, 95)
+	p99 = percentile(keys, 99)
+	if h := histogram.Build(keys, 8); h != nil {
+		hist = h.String()
+	}
+	return p50, p95, p99, hist
+}
+
+// percentile reads the nearest-rank percentile from sorted keys.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treebench/internal/derby"
+	"treebench/internal/session"
+)
+
+// replica is one engine instance in the pool. The simulated engine (meter,
+// caches, disk) is single-threaded, so a replica serves one query at a
+// time; the pool's whole point is that N sessions get N replicas instead of
+// serializing on one. Generation is deterministic, so every replica is an
+// identical copy of the same database.
+type replica struct {
+	id   int
+	once sync.Once
+	sess *session.Session
+	ds   *derby.Dataset
+	err  error
+}
+
+// pool hands out replicas, generating each lazily on first checkout. The
+// per-replica sync.Once is the same singleflight discipline the experiment
+// scheduler uses for datasets: two sessions racing to first use of slot 3
+// share one generation, while distinct slots generate concurrently.
+type pool struct {
+	gen  func() (*derby.Dataset, error)
+	free chan *replica
+	size int
+	busy atomic.Int64
+}
+
+func newPool(size int, gen func() (*derby.Dataset, error)) *pool {
+	p := &pool{gen: gen, free: make(chan *replica, size), size: size}
+	for i := 0; i < size; i++ {
+		p.free <- &replica{id: i}
+	}
+	return p
+}
+
+// acquire checks a replica out, waiting until deadline when all are busy.
+// The returned replica is generated (an error here is a generation error;
+// the slot is still returned to the pool so a transient failure can be
+// retried by the next checkout).
+func (p *pool) acquire(deadline time.Time) (*replica, error) {
+	var r *replica
+	select {
+	case r = <-p.free:
+	default:
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, errPoolBusy
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case r = <-p.free:
+		case <-t.C:
+			return nil, errPoolBusy
+		}
+	}
+	p.busy.Add(1)
+	r.once.Do(func() {
+		r.ds, r.err = p.gen()
+		if r.err == nil {
+			r.sess = session.New(r.ds.DB)
+		}
+	})
+	if r.err != nil {
+		err := r.err
+		r.once = sync.Once{} // let a later checkout retry generation
+		r.err = nil
+		p.release(r)
+		return nil, fmt.Errorf("replica %d: %w", r.id, err)
+	}
+	return r, nil
+}
+
+// release returns a replica to the pool.
+func (p *pool) release(r *replica) {
+	p.busy.Add(-1)
+	p.free <- r
+}
+
+// warm eagerly generates the first replica, so the daemon fails fast on a
+// bad configuration and the first query does not pay generation time.
+func (p *pool) warm() error {
+	r, err := p.acquire(time.Now().Add(time.Minute))
+	if err != nil {
+		return err
+	}
+	p.release(r)
+	return nil
+}
+
+var errPoolBusy = fmt.Errorf("server: no replica available")

@@ -1,0 +1,250 @@
+// Package server implements treebenchd: a TCP query server over the
+// simulated engine. The paper measured O2 as a client–server ODBMS; this
+// package restores that boundary so multi-client workloads (OCB-style
+// contention, warm/cold cache dynamics) can be benchmarked against one
+// daemon.
+//
+// Architecture:
+//
+//   - Each accepted connection is one session. A session speaks the
+//     internal/wire protocol: Hello handshake, then Query/Ping/StatsReq
+//     requests answered in order.
+//   - Queries execute on a pool of engine replicas — independently
+//     generated, deterministic copies of one Derby database — so N
+//     sessions run truly concurrently instead of serializing on one
+//     single-threaded engine. Replicas generate lazily, singleflight per
+//     slot (the experiment scheduler's dataset discipline).
+//   - Admission control bounds concurrently executing queries at
+//     MaxConcurrent, queues at most MaxQueue waiters, and rejects beyond
+//     that; every admitted query gets a wall-clock budget of QueryTimeout
+//     covering queue wait and execution.
+//   - Cold queries (the default) cold-restart their replica first, so any
+//     replica serves them identically and results are byte-identical to a
+//     local oqlsh run. A session's first warm query pins a replica to the
+//     session after one cold restart: the session's simulated numbers then
+//     depend only on its own query history, keeping warm sequences
+//     deterministic per session.
+//   - Shutdown drains gracefully: the listener closes, idle sessions are
+//     disconnected, in-flight queries finish and flush their responses.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treebench/internal/core"
+	"treebench/internal/derby"
+	"treebench/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Generate builds one engine replica (deterministic, so all replicas
+	// are identical). Required.
+	Generate func() (*derby.Dataset, error)
+	// Label names the served database in the handshake.
+	Label string
+	// Replicas is the engine pool size; 0 means the scheduler's worker
+	// default (TREEBENCH_JOBS or min(NumCPU, 8)).
+	Replicas int
+	// MaxConcurrent bounds concurrently executing queries; 0 means
+	// Replicas. Values above Replicas are clamped (an admission slot
+	// without an engine to run on would only deepen the pool queue).
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for an admission slot; beyond it
+	// queries are rejected immediately with CodeBusy. 0 means no queue.
+	MaxQueue int
+	// QueryTimeout is each query's wall-clock budget, covering queue wait
+	// and execution; 0 means 30 seconds.
+	QueryTimeout time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is a treebenchd instance.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	sem     chan struct{}
+	waiters atomic.Int64
+	metrics metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	drainCh  chan struct{}
+
+	wg     sync.WaitGroup // sessions
+	execWg sync.WaitGroup // in-flight query executions
+
+	// beforeExecute, when non-nil, runs inside each admitted query's
+	// execution goroutine before the engine is invoked (test
+	// instrumentation for admission and drain behavior).
+	beforeExecute func()
+}
+
+// New validates cfg and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Generate == nil {
+		return nil, fmt.Errorf("server: Config.Generate is required")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = core.JobsFromEnv(core.DefaultJobs())
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("server: replicas %d < 1", cfg.Replicas)
+	}
+	if cfg.MaxConcurrent == 0 || cfg.MaxConcurrent > cfg.Replicas {
+		cfg.MaxConcurrent = cfg.Replicas
+	}
+	if cfg.MaxConcurrent < 1 {
+		return nil, fmt.Errorf("server: max concurrent %d < 1", cfg.MaxConcurrent)
+	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("server: max queue %d < 0", cfg.MaxQueue)
+	}
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = 30 * time.Second
+	}
+	return &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.Replicas, cfg.Generate),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		conns:   make(map[*conn]struct{}),
+		drainCh: make(chan struct{}),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Warm eagerly generates the first replica so a misconfigured generator
+// fails at startup rather than on the first query.
+func (s *Server) Warm() error { return s.pool.warm() }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts sessions on ln until Shutdown, which closes ln and makes
+// Serve return ErrServerClosed once the listener unblocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("listening on %s (db %s, %d replicas, %d concurrent, queue %d)",
+		ln.Addr(), s.cfg.Label, s.cfg.Replicas, s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := &conn{srv: s, c: nc}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go c.serve()
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: it stops accepting, disconnects idle
+// sessions, lets in-flight queries finish and flush their responses, and
+// returns when everything is done (or ctx expires first).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		for c := range s.conns {
+			if !c.busy {
+				c.c.Close()
+			}
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.execWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("drained")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() *wire.Stats {
+	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Replicas), s.pool.busy.Load())
+}
+
+// admit acquires an admission slot within the deadline. It returns a wire
+// error code on failure: CodeBusy when the bounded queue is full, and
+// CodeTimeout when the query's budget expired while queued.
+func (s *Server) admit(deadline time.Time) (release func(), code byte, err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, nil
+	default:
+	}
+	if s.waiters.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiters.Add(-1)
+		s.metrics.reject()
+		return nil, wire.CodeBusy, fmt.Errorf("server: admission queue full (%d executing, %d queued)",
+			s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+	}
+	defer s.waiters.Add(-1)
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, nil
+	case <-t.C:
+		s.metrics.timeout()
+		return nil, wire.CodeTimeout, fmt.Errorf("server: query timed out after %s in admission queue", s.cfg.QueryTimeout)
+	}
+}

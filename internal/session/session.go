@@ -1,0 +1,121 @@
+// Package session is the single query-execution entry point shared by the
+// local shell (cmd/oqlsh) and the query server (internal/server): one
+// Execute(stmt) path over one database, plus the one renderer both sides
+// use. Local and remote execution of the same statement against the same
+// generated database therefore print byte-identical results — the property
+// the CI smoke diff pins down.
+package session
+
+import (
+	"fmt"
+	"io"
+
+	"treebench/internal/engine"
+	"treebench/internal/oql"
+	"treebench/internal/wire"
+)
+
+// Session executes OQL statements against one database.
+type Session struct {
+	DB      *engine.Database
+	Planner *oql.Planner
+	// Cold, when true (the default), cold-restarts the caches before each
+	// query — the paper's measurement discipline. A warm session keeps
+	// caches and handle table across queries; its simulated numbers then
+	// depend on the session's own query history (and nothing else, when
+	// the session owns its engine).
+	Cold bool
+}
+
+// New returns a cold session over db using the cost-based strategy.
+//
+// New primes every index's equi-depth histogram and then cold-restarts, so
+// the planner's statistics are in place before the first measured query.
+// Without this, the first cold query on a fresh engine would pay the lazy
+// statistics build (extra page reads on the meter) and report different
+// numbers than the same query repeated — which would break both the
+// paper's equal-footing discipline and the remote/local byte-equivalence
+// guarantee (a fresh server replica must answer exactly like a fresh local
+// shell, however many queries either has served).
+func New(db *engine.Database) *Session {
+	for _, name := range db.Extents() {
+		if e, err := db.Extent(name); err == nil {
+			for _, ix := range e.Indexes() {
+				ix.Stats(db.Client) // builds and caches; errors fall back to lazy
+			}
+		}
+	}
+	db.ColdRestart()
+	return &Session{
+		DB:      db,
+		Planner: &oql.Planner{DB: db, Strategy: oql.CostBased},
+		Cold:    true,
+	}
+}
+
+// Execute parses, plans and runs one statement, honoring the session's
+// cache temperature. Warm queries keep the caches and handle table but
+// still measure from a zeroed meter, so every result reports that query's
+// own cost at the session's cache temperature (not a running session
+// total).
+func (s *Session) Execute(stmt string) (*oql.Result, error) {
+	if s.Cold {
+		s.DB.ColdRestart()
+	} else {
+		s.DB.Meter.Reset()
+	}
+	return s.Planner.Query(stmt)
+}
+
+// ToWire converts an executed result into its neutral wire form, keeping at
+// most maxSample materialized rows (the full row count survives in Rows).
+func ToWire(res *oql.Result, maxSample int) *wire.Result {
+	out := &wire.Result{
+		Plan:     res.Plan.Explain(),
+		Rows:     int64(res.Rows),
+		Elapsed:  res.Elapsed,
+		Counters: res.Counters,
+	}
+	for _, a := range res.Aggregates {
+		out.Aggregates = append(out.Aggregates, wire.Agg{Label: a.Label, Value: a.Value})
+	}
+	n := len(res.Sample)
+	if maxSample >= 0 && n > maxSample {
+		n = maxSample
+	}
+	for _, row := range res.Sample[:n] {
+		out.Sample = append(out.Sample, row)
+	}
+	return out
+}
+
+// WriteResult renders a result the way the shell always has: plan with its
+// costed alternatives, aggregates, up to maxRows sample rows, and the
+// rows/elapsed/counters footer. Both oqlsh and the remote client render
+// through this function.
+func WriteResult(w io.Writer, res *wire.Result, maxRows int) {
+	fmt.Fprintln(w, res.Plan)
+	for _, a := range res.Aggregates {
+		fmt.Fprintf(w, "  %s = %g\n", a.Label, a.Value)
+	}
+	shown := len(res.Sample)
+	if maxRows >= 0 && shown > maxRows {
+		shown = maxRows
+	}
+	for _, row := range res.Sample[:shown] {
+		fmt.Fprint(w, "  ")
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprint(w, v)
+		}
+		fmt.Fprintln(w)
+	}
+	if shown > 0 && res.Rows > int64(shown) {
+		fmt.Fprintf(w, "  ... (%d more rows)\n", res.Rows-int64(shown))
+	}
+	n := res.Counters
+	fmt.Fprintf(w, "%d rows in %.2fs simulated (pages read %d, RPCs %d, client miss %.0f%%)\n",
+		res.Rows, res.Elapsed.Seconds(), n.DiskReads, n.RPCs, n.ClientMissRate())
+}

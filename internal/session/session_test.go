@@ -1,0 +1,108 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"treebench/internal/derby"
+	"treebench/internal/wire"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	d, err := derby.Generate(derby.DefaultConfig(20, 20, derby.ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d.DB)
+}
+
+func TestExecuteColdIsRepeatable(t *testing.T) {
+	s := newSession(t)
+	a, err := s.Execute("select pa.mrn from pa in Patients where pa.mrn < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Execute("select pa.mrn from pa in Patients where pa.mrn < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Counters != b.Counters || a.Rows != b.Rows {
+		t.Fatalf("cold execution not repeatable: %v/%v vs %v/%v", a.Elapsed, a.Counters, b.Elapsed, b.Counters)
+	}
+}
+
+func TestToWireCapsSampleKeepsRows(t *testing.T) {
+	s := newSession(t)
+	res, err := s.Execute("select pa.mrn from pa in Patients where pa.mrn < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ToWire(res, 5)
+	if len(w.Sample) != 5 {
+		t.Fatalf("sample not capped: %d", len(w.Sample))
+	}
+	if w.Rows != int64(res.Rows) || w.Rows != 49 {
+		t.Fatalf("row count lost: %d vs %d", w.Rows, res.Rows)
+	}
+	if w.Plan != res.Plan.Explain() {
+		t.Fatalf("plan text mismatch: %q", w.Plan)
+	}
+}
+
+// TestWriteResultMatchesWireRoundTrip is the remote-equivalence property in
+// miniature: rendering a result locally, and rendering the same result
+// after an encode/decode round trip, must produce identical bytes.
+func TestWriteResultMatchesWireRoundTrip(t *testing.T) {
+	s := newSession(t)
+	for _, stmt := range []string{
+		"select pa.mrn, pa.age from pa in Patients where pa.mrn < 30",
+		"select sum(pa.mrn), avg(pa.age) from pa in Patients where pa.mrn < 5",
+		"select count(*) from pa in Patients",
+		"select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100 and p.upin < 10",
+	} {
+		res, err := s.Execute(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		local := ToWire(res, 10)
+		remote, err := wire.DecodeResult(local.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		var a, b strings.Builder
+		WriteResult(&a, local, 10)
+		WriteResult(&b, remote, 10)
+		if a.String() != b.String() {
+			t.Fatalf("%s: render differs after wire round trip:\n%s\nvs\n%s", stmt, a.String(), b.String())
+		}
+		if a.Len() == 0 || !strings.Contains(a.String(), "rows in") {
+			t.Fatalf("%s: render footer missing:\n%s", stmt, a.String())
+		}
+	}
+}
+
+func TestWriteResultMoreRowsLine(t *testing.T) {
+	s := newSession(t)
+	res, err := s.Execute("select pa.mrn from pa in Patients where pa.mrn < 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated to 3 of 19 rows, the renderer reports the missing 16 —
+	// even when the wire sample itself was capped at the render limit.
+	var out strings.Builder
+	WriteResult(&out, ToWire(res, 3), 3)
+	if !strings.Contains(out.String(), "... (16 more rows)") {
+		t.Fatalf("more-rows line missing:\n%s", out.String())
+	}
+	// Aggregate results materialize no rows and must not claim any.
+	agg, err := s.Execute("select sum(pa.mrn) from pa in Patients where pa.mrn < 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	WriteResult(&out, ToWire(agg, 3), 3)
+	if strings.Contains(out.String(), "more rows") {
+		t.Fatalf("aggregate render claims sample rows:\n%s", out.String())
+	}
+}

@@ -2,6 +2,10 @@
 // line-oriented REPL over one database, with dot-commands for plans, cache
 // temperature, schema inspection and optimizer strategy. It is a package
 // (rather than living in main) so the full command surface is testable.
+//
+// Query execution and result rendering live in package session — the same
+// entry point a treebenchd server session uses — so a statement typed here
+// and the same statement sent over the wire print byte-identical results.
 package shell
 
 import (
@@ -12,15 +16,14 @@ import (
 
 	"treebench/internal/engine"
 	"treebench/internal/oql"
+	"treebench/internal/session"
 )
 
-// Shell is one REPL session.
+// Shell is one REPL session. The embedded Session carries the database,
+// planner and cache temperature; the Shell adds line handling, prompts and
+// dot-commands.
 type Shell struct {
-	DB      *engine.Database
-	Planner *oql.Planner
-	// Cold, when true (the default), cold-restarts the caches before
-	// each query — the paper's measurement discipline.
-	Cold bool
+	*session.Session
 	// Prompt is printed before each input line; empty disables it (for
 	// scripted use).
 	Prompt string
@@ -31,9 +34,7 @@ type Shell struct {
 // New returns a shell over db using the cost-based strategy.
 func New(db *engine.Database) *Shell {
 	return &Shell{
-		DB:      db,
-		Planner: &oql.Planner{DB: db, Strategy: oql.CostBased},
-		Cold:    true,
+		Session: session.New(db),
 		Prompt:  "oql> ",
 		MaxRows: 10,
 	}
@@ -41,8 +42,20 @@ func New(db *engine.Database) *Shell {
 
 // Run reads statements from r until EOF or .quit, writing results to w.
 // Statements may span lines and end with ';' (or a lone line for
-// dot-commands).
+// dot-commands). Errors are reported inline and the loop continues — the
+// interactive contract.
 func (sh *Shell) Run(r io.Reader, w io.Writer) error {
+	return sh.run(r, w, false)
+}
+
+// Script executes statements from r like Run but stops at the first query
+// or command error and returns it — the non-interactive contract behind
+// oqlsh -e/-f, where a failing statement must fail the run.
+func (sh *Shell) Script(r io.Reader, w io.Writer) error {
+	return sh.run(r, w, true)
+}
+
+func (sh *Shell) run(r io.Reader, w io.Writer, failFast bool) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
@@ -56,7 +69,11 @@ func (sh *Shell) Run(r io.Reader, w io.Writer) error {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if sh.Command(trimmed, w) {
+			quit, err := sh.Command(trimmed, w)
+			if err != nil && failFast {
+				return err
+			}
+			if quit {
 				return sc.Err()
 			}
 			prompt()
@@ -72,7 +89,9 @@ func (sh *Shell) Run(r io.Reader, w io.Writer) error {
 		stmt = strings.TrimSuffix(stmt, ";")
 		stmt = strings.TrimSpace(stmt)
 		if stmt != "" {
-			sh.Query(stmt, w)
+			if err := sh.Query(stmt, w); err != nil && failFast {
+				return err
+			}
 		}
 		prompt()
 	}
@@ -80,12 +99,13 @@ func (sh *Shell) Run(r io.Reader, w io.Writer) error {
 }
 
 // Command executes one dot-command, reporting whether the shell should
-// quit.
-func (sh *Shell) Command(cmd string, w io.Writer) (quit bool) {
+// quit. Errors are printed to w and also returned (Run ignores them,
+// Script stops).
+func (sh *Shell) Command(cmd string, w io.Writer) (quit bool, err error) {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
-		return true
+		return true, nil
 	case ".cold":
 		sh.Cold = true
 		fmt.Fprintln(w, "cold restart before each query")
@@ -108,20 +128,21 @@ func (sh *Shell) Command(cmd string, w io.Writer) (quit bool) {
 		ast, err := oql.Parse(src)
 		if err != nil {
 			fmt.Fprintln(w, "error:", err)
-			return false
+			return false, err
 		}
 		plan, err := sh.Planner.Plan(ast)
 		if err != nil {
 			fmt.Fprintln(w, "error:", err)
-			return false
+			return false, err
 		}
 		fmt.Fprintln(w, plan.Explain())
 	case ".help":
 		fmt.Fprintln(w, "commands: .explain <query>  .cold  .warm  .schema  .stats  .strategy cost|heuristic  .quit")
 	default:
 		fmt.Fprintf(w, "unknown command %s (try .help)\n", fields[0])
+		return false, fmt.Errorf("shell: unknown command %s", fields[0])
 	}
-	return false
+	return false, nil
 }
 
 // schema prints extents, attributes and indexes.
@@ -161,35 +182,13 @@ func (sh *Shell) stats(w io.Writer) {
 }
 
 // Query runs one OQL statement and prints its plan, sample rows,
-// aggregates and counters.
-func (sh *Shell) Query(src string, w io.Writer) {
-	if sh.Cold {
-		sh.DB.ColdRestart()
-	}
-	res, err := sh.Planner.Query(src)
+// aggregates and counters, returning the execution error if any.
+func (sh *Shell) Query(src string, w io.Writer) error {
+	res, err := sh.Execute(src)
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
-		return
+		return err
 	}
-	fmt.Fprintln(w, res.Plan.Explain())
-	for _, a := range res.Aggregates {
-		fmt.Fprintf(w, "  %s = %g\n", a.Label, a.Value)
-	}
-	for i, row := range res.Sample {
-		if i == sh.MaxRows {
-			fmt.Fprintf(w, "  ... (%d more rows)\n", res.Rows-sh.MaxRows)
-			break
-		}
-		fmt.Fprint(w, "  ")
-		for j, v := range row {
-			if j > 0 {
-				fmt.Fprint(w, ", ")
-			}
-			fmt.Fprint(w, v)
-		}
-		fmt.Fprintln(w)
-	}
-	n := res.Counters
-	fmt.Fprintf(w, "%d rows in %.2fs simulated (pages read %d, RPCs %d, client miss %.0f%%)\n",
-		res.Rows, res.Elapsed.Seconds(), n.DiskReads, n.RPCs, n.ClientMissRate())
+	session.WriteResult(w, session.ToWire(res, sh.MaxRows), sh.MaxRows)
+	return nil
 }

@@ -121,6 +121,41 @@ func TestShellWarmModeKeepsCaches(t *testing.T) {
 	}
 }
 
+// TestShellScriptFailFast pins the oqlsh -e/-f contract: Script stops at
+// the first failing statement and returns its error, where Run would have
+// reported it and continued.
+func TestShellScriptFailFast(t *testing.T) {
+	sh := newShell(t)
+	script := "select pa.mrn from pa in Patients where pa.mrn < 3;\nselect nothing;\nselect count(*) from pa in Patients;\n"
+	var out bytes.Buffer
+	err := sh.Script(strings.NewReader(script), &out)
+	if err == nil {
+		t.Fatalf("script error not returned:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "2 rows in") {
+		t.Fatalf("statement before the failure did not run:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "count") || strings.Count(out.String(), "rows in") != 1 {
+		t.Fatalf("statement after the failure ran:\n%s", out.String())
+	}
+
+	// An unknown dot-command is also fatal in script mode.
+	out.Reset()
+	if err := sh.Script(strings.NewReader(".bogus\n"), &out); err == nil {
+		t.Fatal("unknown command did not fail the script")
+	}
+
+	// The same input under Run keeps going after the error.
+	sh2 := newShell(t)
+	out.Reset()
+	if err := sh2.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "rows in") != 2 {
+		t.Fatalf("interactive run did not continue past the error:\n%s", out.String())
+	}
+}
+
 func TestShellPromptPrinted(t *testing.T) {
 	sh := newShell(t)
 	sh.Prompt = "oql> "

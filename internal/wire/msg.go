@@ -1,0 +1,297 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"treebench/internal/object"
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+)
+
+// Optimizer strategies on the wire (a session picks per query).
+const (
+	StrategyCost      byte = 0
+	StrategyHeuristic byte = 1
+)
+
+// Hello opens a connection.
+type Hello struct {
+	Version uint32
+}
+
+// Encode serializes the message payload.
+func (m *Hello) Encode() []byte {
+	var e enc
+	e.u32(m.Version)
+	return e.b
+}
+
+// DecodeHello parses a TypeHello payload.
+func DecodeHello(b []byte) (*Hello, error) {
+	d := newDec(b)
+	m := &Hello{Version: d.u32()}
+	return m, d.finish("hello")
+}
+
+// ServerHello acknowledges the handshake.
+type ServerHello struct {
+	Version uint32
+	// Label names the database the server serves ("200x10000 class").
+	Label string
+}
+
+func (m *ServerHello) Encode() []byte {
+	var e enc
+	e.u32(m.Version)
+	e.str(m.Label)
+	return e.b
+}
+
+// DecodeServerHello parses a TypeServerHello payload.
+func DecodeServerHello(b []byte) (*ServerHello, error) {
+	d := newDec(b)
+	m := &ServerHello{Version: d.u32(), Label: d.str()}
+	return m, d.finish("server hello")
+}
+
+// Query asks for one OQL statement's execution.
+type Query struct {
+	Stmt string
+	// Warm keeps the session's replica caches warm instead of the default
+	// cold restart before the query (the paper's measurement discipline).
+	Warm bool
+	// Strategy selects the optimizer (StrategyCost or StrategyHeuristic).
+	Strategy byte
+	// MaxRows caps how many sample rows the server ships back. The full
+	// row count always comes back in Result.Rows.
+	MaxRows uint32
+}
+
+func (m *Query) Encode() []byte {
+	var e enc
+	e.str(m.Stmt)
+	e.bool(m.Warm)
+	e.u8(m.Strategy)
+	e.u32(m.MaxRows)
+	return e.b
+}
+
+// DecodeQuery parses a TypeQuery payload.
+func DecodeQuery(b []byte) (*Query, error) {
+	d := newDec(b)
+	m := &Query{Stmt: d.str(), Warm: d.boolv(), Strategy: d.u8(), MaxRows: d.u32()}
+	if err := d.finish("query"); err != nil {
+		return nil, err
+	}
+	if m.Strategy > StrategyHeuristic {
+		return nil, fmt.Errorf("wire: unknown strategy %d", m.Strategy)
+	}
+	return m, nil
+}
+
+// Agg is one computed aggregate of a Result.
+type Agg struct {
+	Label string
+	Value float64
+}
+
+// Result is the neutral, renderable form of an executed query: everything
+// the shell prints (plan, aggregates, sample rows, row count, simulated
+// elapsed time, Figure 3 counters) and nothing engine-internal.
+type Result struct {
+	// Plan is the executed plan's Explain rendering, including the costed
+	// alternatives.
+	Plan string
+	// Rows is the full matching row count (the sample may be shorter).
+	Rows int64
+	// Elapsed is the simulated elapsed time.
+	Elapsed time.Duration
+	// Counters is the query's Figure 3 counter snapshot.
+	Counters sim.Counters
+	// Aggregates holds computed aggregates in projection order.
+	Aggregates []Agg
+	// Sample holds up to the requested MaxRows materialized rows.
+	Sample [][]object.Value
+}
+
+func (m *Result) Encode() []byte {
+	var e enc
+	e.str(m.Plan)
+	e.i64(m.Rows)
+	e.i64(int64(m.Elapsed))
+	encodeCounters(&e, &m.Counters)
+	e.u32(uint32(len(m.Aggregates)))
+	for _, a := range m.Aggregates {
+		e.str(a.Label)
+		e.f64(a.Value)
+	}
+	e.u32(uint32(len(m.Sample)))
+	for _, row := range m.Sample {
+		e.u32(uint32(len(row)))
+		for _, v := range row {
+			encodeValue(&e, v)
+		}
+	}
+	return e.b
+}
+
+// DecodeResult parses a TypeResult payload.
+func DecodeResult(b []byte) (*Result, error) {
+	d := newDec(b)
+	m := &Result{Plan: d.str(), Rows: d.i64(), Elapsed: time.Duration(d.i64())}
+	decodeCounters(d, &m.Counters)
+	if n := d.count(12, "aggregate"); n > 0 {
+		m.Aggregates = make([]Agg, n)
+		for i := range m.Aggregates {
+			m.Aggregates[i] = Agg{Label: d.str(), Value: d.f64()}
+		}
+	}
+	if n := d.count(4, "row"); n > 0 {
+		m.Sample = make([][]object.Value, n)
+		for i := range m.Sample {
+			cols := d.count(1, "column")
+			row := make([]object.Value, cols)
+			for j := range row {
+				row[j] = decodeValue(d)
+			}
+			m.Sample[i] = row
+		}
+	}
+	if err := d.finish("result"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Error reports a failed request.
+type Error struct {
+	Code byte
+	Msg  string
+}
+
+func (m *Error) Encode() []byte {
+	var e enc
+	e.u8(m.Code)
+	e.str(m.Msg)
+	return e.b
+}
+
+// DecodeError parses a TypeError payload.
+func DecodeError(b []byte) (*Error, error) {
+	d := newDec(b)
+	m := &Error{Code: d.u8(), Msg: d.str()}
+	return m, d.finish("error")
+}
+
+// Stats is the server's counters snapshot (the daemon's answer to the
+// shell's .stats habit): admission and lifecycle counters plus wall and
+// simulated latency summaries with their equi-depth histograms.
+type Stats struct {
+	Served         int64 // queries executed to completion (ok or query error)
+	QueryErrors    int64 // of Served, how many failed to parse/plan/execute
+	Rejected       int64 // admission-control rejections (queue full)
+	TimedOut       int64 // queries cut off by the per-query budget
+	ActiveSessions int64 // connected sessions right now
+	QueueDepth     int64 // queries waiting for an admission slot right now
+	Replicas       int64 // engine replicas in the pool
+	BusyReplicas   int64 // replicas checked out right now
+
+	// Wall-clock latency percentiles, in microseconds.
+	WallP50us, WallP95us, WallP99us int64
+	// Simulated-time latency percentiles, in milliseconds.
+	SimP50ms, SimP95ms, SimP99ms int64
+	// WallHist and SimHist are equi-depth histogram renderings
+	// ("[lo,hi):count ..." buckets) of the same two populations.
+	WallHist string
+	SimHist  string
+}
+
+func (m *Stats) Encode() []byte {
+	var e enc
+	for _, v := range []int64{
+		m.Served, m.QueryErrors, m.Rejected, m.TimedOut,
+		m.ActiveSessions, m.QueueDepth, m.Replicas, m.BusyReplicas,
+		m.WallP50us, m.WallP95us, m.WallP99us,
+		m.SimP50ms, m.SimP95ms, m.SimP99ms,
+	} {
+		e.i64(v)
+	}
+	e.str(m.WallHist)
+	e.str(m.SimHist)
+	return e.b
+}
+
+// DecodeStats parses a TypeStats payload.
+func DecodeStats(b []byte) (*Stats, error) {
+	d := newDec(b)
+	m := &Stats{}
+	for _, p := range []*int64{
+		&m.Served, &m.QueryErrors, &m.Rejected, &m.TimedOut,
+		&m.ActiveSessions, &m.QueueDepth, &m.Replicas, &m.BusyReplicas,
+		&m.WallP50us, &m.WallP95us, &m.WallP99us,
+		&m.SimP50ms, &m.SimP95ms, &m.SimP99ms,
+	} {
+		*p = d.i64()
+	}
+	m.WallHist = d.str()
+	m.SimHist = d.str()
+	return m, d.finish("stats")
+}
+
+// counterFields lists every sim.Counters field in wire order. Appending a
+// field to sim.Counters requires appending it here (and bumping Version if
+// old peers must be locked out).
+func counterFields(c *sim.Counters) []*int64 {
+	return []*int64{
+		&c.DiskReads, &c.DiskWrites, &c.RPCs, &c.RPCBytes,
+		&c.ServerHits, &c.ServerToClient, &c.ClientHits, &c.ClientFaults,
+		&c.LogPages, &c.Locks,
+		&c.ScanNexts, &c.HandleGets, &c.HandleUnrefs, &c.AttrGets,
+		&c.Compares, &c.HashInserts, &c.HashProbes, &c.ResultAppends,
+		&c.SortedElems, &c.SwapReads, &c.SwapWrites,
+	}
+}
+
+func encodeCounters(e *enc, c *sim.Counters) {
+	for _, p := range counterFields(c) {
+		e.i64(*p)
+	}
+}
+
+func decodeCounters(d *dec, c *sim.Counters) {
+	for _, p := range counterFields(c) {
+		*p = d.i64()
+	}
+}
+
+// encodeValue writes one object.Value. The kinds mirror the object layer:
+// ints and chars carry their integer, strings their bytes, refs and sets
+// their Rid.
+func encodeValue(e *enc, v object.Value) {
+	e.u8(byte(v.Kind))
+	switch v.Kind {
+	case object.KindInt, object.KindChar:
+		e.i64(v.Int)
+	case object.KindString:
+		e.str(v.Str)
+	case object.KindRef, object.KindSet:
+		e.u32(uint32(v.Ref.Page))
+		e.u16(v.Ref.Slot)
+	}
+}
+
+func decodeValue(d *dec) object.Value {
+	v := object.Value{Kind: object.Kind(d.u8())}
+	switch v.Kind {
+	case object.KindInt, object.KindChar:
+		v.Int = d.i64()
+	case object.KindString:
+		v.Str = d.str()
+	case object.KindRef, object.KindSet:
+		v.Ref = storage.Rid{Page: storage.PageID(d.u32()), Slot: d.u16()}
+	default:
+		d.fail("value kind")
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+// Package wire is treebenchd's client/server protocol: length-prefixed
+// binary frames carrying typed OQL requests and responses. The paper's O2
+// is a client–server ODBMS (4 MB server / 32 MB client caches talking RPC);
+// this protocol restores that missing boundary around the simulated engine
+// so multi-client workloads can drive one daemon.
+//
+// A frame is [type:1][length:4 big-endian][payload]; payloads use the
+// fixed-width primitives in codec.go. A connection starts with a
+// Hello/ServerHello exchange pinning the protocol version, then carries any
+// number of request/response pairs (Query→Result|Error, Ping→Pong,
+// StatsReq→Stats). The Result message is the neutral form both the local
+// shell and the remote client render through session.WriteResult, which is
+// what makes remote output byte-identical to oqlsh.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version exchanged in the Hello handshake.
+const Version uint32 = 1
+
+// MaxPayload bounds a frame's payload; larger length prefixes are rejected
+// before any allocation (a malformed or hostile peer cannot make us
+// allocate 4 GB).
+const MaxPayload = 16 << 20
+
+// Frame types.
+const (
+	// TypeHello opens a connection (client → server).
+	TypeHello byte = 0x01
+	// TypeServerHello acknowledges the handshake (server → client).
+	TypeServerHello byte = 0x02
+	// TypeQuery asks the server to execute one OQL statement.
+	TypeQuery byte = 0x03
+	// TypeResult carries an executed query's outcome.
+	TypeResult byte = 0x04
+	// TypeError reports a failed request.
+	TypeError byte = 0x05
+	// TypePing and TypePong are the liveness probe.
+	TypePing byte = 0x06
+	TypePong byte = 0x07
+	// TypeStatsReq asks for the server's counters snapshot.
+	TypeStatsReq byte = 0x08
+	// TypeStats carries the snapshot.
+	TypeStats byte = 0x09
+)
+
+// Error codes carried by TypeError.
+const (
+	// CodeQuery is a query parse/plan/execution error.
+	CodeQuery byte = 1
+	// CodeBusy means admission control rejected the query (queue full).
+	CodeBusy byte = 2
+	// CodeTimeout means the query exceeded the server's per-query budget.
+	CodeTimeout byte = 3
+	// CodeShutdown means the server is draining and takes no new queries.
+	CodeShutdown byte = 4
+	// CodeProto is a protocol violation (bad frame, bad handshake).
+	CodeProto byte = 5
+)
+
+const frameHeaderLen = 5
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: payload %d exceeds %d", len(payload), MaxPayload)
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r, enforcing MaxPayload.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("wire: frame length %d exceeds %d", n, MaxPayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

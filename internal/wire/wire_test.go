@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"treebench/internal/object"
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		typ     byte
+		payload []byte
+	}{
+		{TypePing, nil},
+		{TypeQuery, []byte{}},
+		{TypeResult, []byte("hello")},
+		{TypeStats, bytes.Repeat([]byte{0xAB}, 1<<16)},
+	} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, tc.typ, tc.payload); err != nil {
+			t.Fatalf("write type %d: %v", tc.typ, err)
+		}
+		typ, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read type %d: %v", tc.typ, err)
+		}
+		if typ != tc.typ || !bytes.Equal(payload, tc.payload) {
+			t.Fatalf("frame round trip: got type %d len %d, want type %d len %d",
+				typ, len(payload), tc.typ, len(tc.payload))
+		}
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	// A hostile length prefix must be rejected before allocation.
+	raw := []byte{TypeQuery, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeResult, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeQuery, []byte("select 1")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func sampleCounters() sim.Counters {
+	return sim.Counters{
+		DiskReads: 1, DiskWrites: 2, RPCs: 3, RPCBytes: 4,
+		ServerHits: 5, ServerToClient: 6, ClientHits: 7, ClientFaults: 8,
+		LogPages: 9, Locks: 10, ScanNexts: 11, HandleGets: 12,
+		HandleUnrefs: 13, AttrGets: 14, Compares: 15, HashInserts: 16,
+		HashProbes: 17, ResultAppends: 18, SortedElems: 19,
+		SwapReads: 20, SwapWrites: 21,
+	}
+}
+
+func TestCountersCoverEveryField(t *testing.T) {
+	// counterFields must enumerate every field of sim.Counters: a field
+	// added there but not on the wire would silently decode as zero.
+	c := sampleCounters()
+	if got, want := len(counterFields(&c)), reflect.TypeOf(c).NumField(); got != want {
+		t.Fatalf("counterFields lists %d fields, sim.Counters has %d", got, want)
+	}
+	seen := map[*int64]bool{}
+	for _, p := range counterFields(&c) {
+		if seen[p] {
+			t.Fatal("counterFields lists a field twice")
+		}
+		seen[p] = true
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	hello := &Hello{Version: Version}
+	if got, err := DecodeHello(hello.Encode()); err != nil || *got != *hello {
+		t.Fatalf("hello round trip: %+v, %v", got, err)
+	}
+
+	sh := &ServerHello{Version: Version, Label: "200x10000 class"}
+	if got, err := DecodeServerHello(sh.Encode()); err != nil || *got != *sh {
+		t.Fatalf("server hello round trip: %+v, %v", got, err)
+	}
+
+	q := &Query{Stmt: "select p.name from p in Providers;", Warm: true, Strategy: StrategyHeuristic, MaxRows: 25}
+	if got, err := DecodeQuery(q.Encode()); err != nil || *got != *q {
+		t.Fatalf("query round trip: %+v, %v", got, err)
+	}
+
+	e := &Error{Code: CodeBusy, Msg: "queue full"}
+	if got, err := DecodeError(e.Encode()); err != nil || *got != *e {
+		t.Fatalf("error round trip: %+v, %v", got, err)
+	}
+
+	st := &Stats{
+		Served: 100, QueryErrors: 3, Rejected: 7, TimedOut: 1,
+		ActiveSessions: 8, QueueDepth: 2, Replicas: 8, BusyReplicas: 5,
+		WallP50us: 1200, WallP95us: 9000, WallP99us: 20000,
+		SimP50ms: 3100, SimP95ms: 3300, SimP99ms: 3400,
+		WallHist: "[1,10):5 [10,20):5", SimHist: "[3100,3400):10",
+	}
+	if got, err := DecodeStats(st.Encode()); err != nil || *got != *st {
+		t.Fatalf("stats round trip: %+v, %v", got, err)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := &Result{
+		Plan:     "tree join Providers over Patients (k1=100, k2=10) via CHJ [cost-based]\n  est CHJ 1.00s",
+		Rows:     991,
+		Elapsed:  3140 * time.Millisecond,
+		Counters: sampleCounters(),
+		Aggregates: []Agg{
+			{Label: "sum(mrn)", Value: 12345},
+			{Label: "avg(age)", Value: 41.25},
+		},
+		Sample: [][]object.Value{
+			{object.StringValue("name0001"), object.IntValue(34)},
+			{object.CharValue('f'), object.RefValue(storage.Rid{Page: 17, Slot: 3})},
+			{object.SetValue(storage.Rid{Page: 9, Slot: 1}), object.IntValue(-1)},
+		},
+	}
+	got, err := DecodeResult(res.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("result round trip mismatch:\n got %+v\nwant %+v", got, res)
+	}
+}
+
+func TestResultRoundTripEmpty(t *testing.T) {
+	res := &Result{Plan: "selection on Providers via scan [cost-based]"}
+	got, err := DecodeResult(res.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("empty result mismatch: %+v", got)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	res := &Result{Plan: "p", Rows: 1, Sample: [][]object.Value{{object.IntValue(7)}}}
+	full := res.Encode()
+	// Every strict prefix must fail, not panic or succeed.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeResult(full[:cut]); err == nil {
+			t.Fatalf("truncated result at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must fail too.
+	if _, err := DecodeResult(append(append([]byte{}, full...), 0x00)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// A bogus value kind must fail.
+	bogus := append([]byte{}, full...)
+	bogus[len(bogus)-9] = 0x7F // the kind byte of the only sample value
+	if _, err := DecodeResult(bogus); err == nil {
+		t.Fatal("bogus value kind accepted")
+	}
+	if _, err := DecodeQuery((&Query{Stmt: "s", Strategy: 9}).Encode()); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}
+
+func TestDecodeRejectsHugeCounts(t *testing.T) {
+	// An aggregate count larger than the remaining payload could support
+	// must be rejected before allocating.
+	var e enc
+	e.str("plan")
+	e.i64(1)
+	e.i64(0)
+	encodeCounters(&e, &sim.Counters{})
+	e.u32(0xFFFFFFF0) // aggregates "count"
+	_, err := DecodeResult(e.b)
+	if err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("huge count not rejected: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the query server: start treebenchd over a small
+# database, check a remote query renders byte-identically to the local
+# shell, run a multi-client closed-loop load, and drain on SIGTERM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=${SMOKE_ADDR:-127.0.0.1:8630}
+DB=(-providers 40 -avg 10 -clustering class)
+Q='select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100 and p.upin < 10;'
+
+WORK=$(mktemp -d)
+DPID=
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/treebenchd" ./cmd/treebenchd
+go build -o "$WORK/oqlload" ./cmd/oqlload
+go build -o "$WORK/oqlsh" ./cmd/oqlsh
+
+"$WORK/treebenchd" -addr "$ADDR" "${DB[@]}" -replicas 8 -v &
+DPID=$!
+
+# Remote vs local: byte-identical output is the server's core guarantee.
+# (oqlload retries its dial while the daemon is still generating.)
+"$WORK/oqlload" -addr "$ADDR" -once -e "$Q" > "$WORK/remote.txt"
+"$WORK/oqlsh" "${DB[@]}" -e "$Q" > "$WORK/local.txt"
+cmp "$WORK/remote.txt" "$WORK/local.txt"
+echo "smoke: remote output is byte-identical to oqlsh -e"
+
+# Multi-client closed loop: 8 sessions x 5 queries, throughput and
+# percentiles on stdout, non-zero exit if any query failed.
+"$WORK/oqlload" -addr "$ADDR" -c 8 -n 5 -e "$Q"
+
+# A failing statement must fail the client.
+if "$WORK/oqlload" -addr "$ADDR" -once -e 'select x.y from x in Nowhere;' >/dev/null 2>&1; then
+  echo "smoke: bad query did not fail oqlload" >&2
+  exit 1
+fi
+echo "smoke: bad query fails the client, as it should"
+
+# Graceful drain on SIGTERM.
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=
+echo "smoke: drained cleanly"

@@ -287,6 +287,10 @@ func RunnerConfigFromEnv() RunnerConfig { return core.ConfigFromEnv() }
 // DefaultJobs is the default experiment scheduler width: min(NumCPU, 8).
 func DefaultJobs() int { return core.DefaultJobs() }
 
+// JobsFromEnv resolves a worker/replica count from TREEBENCH_JOBS, falling
+// back to def when unset or invalid.
+func JobsFromEnv(def int) int { return core.JobsFromEnv(def) }
+
 // ExperimentIDs lists the reproducible tables and figures.
 func ExperimentIDs() []string { return core.ExperimentIDs() }
 
