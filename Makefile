@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-full plots cover fuzz smoke clean
+.PHONY: all build test race bench bench-fork experiments experiments-full plots cover fuzz smoke clean
 
 all: build test
 
@@ -20,6 +20,11 @@ race:
 # Regenerate every paper table/figure through the bench harness.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Snapshot-fork cost: generation happens once, each iteration forks a full
+# session. Watch ns/op and allocs/op — fork must stay O(catalog).
+bench-fork:
+	$(GO) test -run 'TestNothing^' -bench BenchmarkSessionFork -benchmem ./internal/session
 
 # The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
 experiments:

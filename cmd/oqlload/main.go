@@ -8,12 +8,13 @@
 //
 //	oqlload [-addr 127.0.0.1:8629] -c 8 -n 20 [-e '<stmt;>'] [-f queries.oql]
 //	        [-warm] [-heuristic] [-maxrows 10] [-retries 20]
-//	oqlload -once -e '<stmt;>'     # run one query, print it like oqlsh -e
+//	oqlload -once -e '<stmt;> [<stmt;> ...]'   # run once, print like oqlsh -e
 //
 // With -f, statements (semicolon-terminated) are read from the file and
-// issued round-robin. -once renders the single result through the same
-// renderer oqlsh uses, so its output is byte-identical to the local shell
-// — that equivalence is what CI diffs.
+// issued round-robin. -once runs every statement sequentially on one
+// connection (so -warm exercises the session's warm-cache discipline) and
+// renders each result through the same renderer oqlsh uses — its output is
+// byte-identical to the local shell, and that equivalence is what CI diffs.
 package main
 
 import (
@@ -36,7 +37,7 @@ func main() {
 		perClient = flag.Int("n", 20, "queries per client")
 		stmtFlag  = flag.String("e", "", "semicolon-terminated statement(s) to issue")
 		file      = flag.String("f", "", "file of semicolon-terminated statements, issued round-robin")
-		once      = flag.Bool("once", false, "run the first statement once and print its result (for diffing against oqlsh -e)")
+		once      = flag.Bool("once", false, "run each statement once on one connection and print the results (for diffing against oqlsh -e)")
 		warm      = flag.Bool("warm", false, "keep each session's caches warm between its queries")
 		heuristic = flag.Bool("heuristic", false, "use the legacy heuristic optimizer")
 		maxRows   = flag.Int("maxrows", 10, "sample rows fetched and printed per query")
@@ -58,11 +59,13 @@ func main() {
 			fatal(err)
 		}
 		defer c.Close()
-		res, err := c.Query(stmts[0], qopts)
-		if err != nil {
-			fatal(err)
+		for _, stmt := range stmts {
+			res, err := c.Query(stmt, qopts)
+			if err != nil {
+				fatal(err)
+			}
+			session.WriteResult(os.Stdout, res, *maxRows)
 		}
-		session.WriteResult(os.Stdout, res, *maxRows)
 		return
 	}
 
@@ -147,9 +150,10 @@ func main() {
 	// The server's own view: admission and latency counters.
 	if c, err := client.Dial(*addr, opts); err == nil {
 		if st, err := c.Stats(); err == nil {
-			fmt.Printf("server: served %d (errors %d) rejected %d timeouts %d, sessions %d, queue %d, replicas %d/%d busy\n",
+			fmt.Printf("server: served %d (errors %d) rejected %d timeouts %d, sessions %d, queue %d, executing %d/%d, snapshot %d pages (%.1f MiB shared)\n",
 				st.Served, st.QueryErrors, st.Rejected, st.TimedOut,
-				st.ActiveSessions, st.QueueDepth, st.BusyReplicas, st.Replicas)
+				st.ActiveSessions, st.QueueDepth, st.BusySessions, st.Sessions,
+				st.SnapshotPages, float64(st.SnapshotBytes)/(1<<20))
 			fmt.Printf("server wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
 				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",

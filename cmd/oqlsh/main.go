@@ -8,6 +8,7 @@
 //	oqlsh [-providers 200] [-avg 50] [-clustering class] [-strategy cost]
 //	oqlsh -e 'select ... ;'   # non-interactive: run statements, then exit
 //	oqlsh -f script.oql       # non-interactive: run a script file
+//	oqlsh -warm -e '...'      # keep caches warm between statements
 //
 // In -e/-f mode only query output reaches stdout (progress goes to
 // stderr), the first failing statement stops the run, and the exit status
@@ -47,6 +48,7 @@ func main() {
 		strategy   = flag.String("strategy", "cost", "optimizer strategy: cost, heuristic")
 		stmts      = flag.String("e", "", "run these semicolon-terminated statements and exit")
 		script     = flag.String("f", "", "run this script file and exit")
+		warm       = flag.Bool("warm", false, "keep caches warm between statements (like the .warm command)")
 	)
 	flag.Parse()
 	scripted := *stmts != "" || *script != ""
@@ -80,6 +82,9 @@ func main() {
 	sh := shell.New(d.DB)
 	if strings.HasPrefix(*strategy, "heur") {
 		sh.Planner.Strategy = oql.Heuristic
+	}
+	if *warm {
+		sh.Cold = false
 	}
 
 	if scripted {

@@ -6,14 +6,16 @@
 // Usage:
 //
 //	treebenchd [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
-//	           [-clustering class] [-seed 1997] [-replicas N]
+//	           [-clustering class] [-seed 1997] [-sessions N]
 //	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s] [-v]
 //
-// The daemon keeps a pool of engine replicas (identical deterministic
-// copies of the configured database), so N sessions execute truly
-// concurrently; admission control bounds executing queries and rejects
-// past the bounded queue. SIGINT/SIGTERM drain gracefully: in-flight
-// queries finish and flush before the process exits.
+// The daemon generates the configured database once, freezes it into an
+// immutable shared snapshot, and forks a private per-connection session
+// (caches, meter, handles) from it in O(1) — so N sessions execute truly
+// concurrently over one copy of the data; admission control bounds
+// executing queries and rejects past the bounded queue. SIGINT/SIGTERM
+// drain gracefully: in-flight queries finish and flush before the process
+// exits.
 //
 // Query it with cmd/oqlload, or any internal/client user. Cold queries
 // (the default) return byte-identical output to the same statement in
@@ -41,8 +43,9 @@ func main() {
 		avg        = flag.Int("avg", 50, "average patients per provider")
 		clustering = flag.String("clustering", "class", "class, random, composition")
 		seed       = flag.Int("seed", 1997, "data generator seed")
-		replicas   = flag.Int("replicas", 0, "engine replicas (default from TREEBENCH_JOBS or min(NumCPU, 8))")
-		maxConc    = flag.Int("max-concurrent", 0, "admission limit on executing queries (default replicas)")
+		sessions   = flag.Int("sessions", 0, "concurrently executing sessions (default from TREEBENCH_JOBS or min(NumCPU, 8))")
+		replicas   = flag.Int("replicas", 0, "deprecated alias for -sessions")
+		maxConc    = flag.Int("max-concurrent", 0, "admission limit on executing queries (default sessions)")
 		maxQueue   = flag.Int("max-queue", 64, "queries allowed to wait for admission before rejection")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget (queue wait + execution)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
@@ -58,14 +61,20 @@ func main() {
 	cfg.Seed = int32(*seed)
 	label := fmt.Sprintf("%dx%d %s", *providers, (*providers)*(*avg), cl)
 
-	n := *replicas
+	n := *sessions
+	if *replicas != 0 {
+		fmt.Fprintln(os.Stderr, "treebenchd: -replicas is deprecated; use -sessions")
+		if n == 0 {
+			n = *replicas
+		}
+	}
 	if n == 0 {
 		n = core.JobsFromEnv(core.DefaultJobs())
 	}
 	scfg := server.Config{
 		Generate:      func() (*derby.Dataset, error) { return derby.Generate(cfg) },
 		Label:         label,
-		Replicas:      n,
+		Sessions:      n,
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
 		QueryTimeout:  *timeout,
@@ -79,7 +88,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("treebenchd: generating %s database (%d replicas, lazily)...\n", label, n)
+	fmt.Printf("treebenchd: generating %s snapshot (%d sessions fork from it)...\n", label, n)
 	if err := srv.Warm(); err != nil {
 		fatal(err)
 	}

@@ -16,7 +16,8 @@ func TestExamplesRun(t *testing.T) {
 		t.Skip("set TREEBENCH_EXAMPLES=1 to execute every example program")
 	}
 	cases := map[string]string{
-		"./examples/quickstart":     "books from the 90s",
+		"./examples/quickstart":     "forked from one",
+		"./examples/sessions":       "identical",
 		"./examples/clustering":     "composition",
 		"./examples/resultsdb":      "recorded 8 measurements",
 		"./examples/evolution":      "reachability GC",

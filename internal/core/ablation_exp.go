@@ -88,11 +88,10 @@ func (r *Runner) Loading() (*Table, error) {
 // handles with bulk allocation. Cold associative scans speed up by the
 // handle residue; navigation workloads are unharmed.
 func (r *Runner) Handles() (*Table, error) {
-	d, unlock, err := r.selectionDataset()
+	d, err := r.selectionDataset()
 	if err != nil {
 		return nil, err
 	}
-	defer unlock()
 	t := &Table{
 		ID:      "H1",
 		Title:   "Fat vs slim handles (§4.4 proposal), 2x10^3 Providers database",

@@ -13,11 +13,10 @@ import (
 // index may be clustered or not") and the reason the authors were surprised
 // an unclustered index could stay useful once sorted.
 func (r *Runner) ClusteredIndex() (*Table, error) {
-	d, unlock, err := r.selectionDataset()
+	d, err := r.selectionDataset()
 	if err != nil {
 		return nil, err
 	}
-	defer unlock()
 	t := &Table{
 		ID:    "S1",
 		Title: "Clustered (mrn) vs unclustered (num) index selections on Patients",
@@ -68,7 +67,6 @@ func (r *Runner) WarmCold() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer r.lockDataset(p, a, derby.ClassCluster)()
 	t := &Table{
 		ID:      "W1",
 		Title:   "Cold vs warm caches, class clustering 1:1000, sel(pat)=10% sel(prov)=10%",

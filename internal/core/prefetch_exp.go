@@ -7,13 +7,10 @@ import "treebench/internal/selection"
 // the client, you reduce both IOs and RPCs"): batching sequential misses
 // reduces the RPC column of the Figure 3 schema directly.
 func (r *Runner) Prefetch() (*Table, error) {
-	d, unlock, err := r.selectionDataset()
+	d, err := r.selectionDataset()
 	if err != nil {
 		return nil, err
 	}
-	// Restore the default read-ahead before releasing the dataset to other
-	// experiments (defers run last-registered first).
-	defer unlock()
 	t := &Table{
 		ID:      "P1",
 		Title:   "Client-cache read-ahead on sequential workloads",

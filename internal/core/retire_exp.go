@@ -22,13 +22,12 @@ import (
 // paper dismisses — scanning every index on the class per update batch to
 // find the entries.
 func (r *Runner) DoctorRetires() (*Table, error) {
-	// A fresh database (this experiment mutates it, so it must not share
-	// the cached dataset other experiments use).
+	// This experiment mutates the database, so it runs on a writable
+	// copy-on-write fork of the shared snapshot: the updates stay private
+	// to this session while the generation is still shared with every
+	// read-only experiment on the same configuration.
 	p, a := r.smallScale()
-	cfg := derby.DefaultConfig(p, a, derby.ClassCluster)
-	cfg.Seed = r.Config.Seed
-	cfg.Machine = MachineForSF(r.Config.SF)
-	d, err := derby.Generate(cfg)
+	d, err := r.mutableDataset(p, a, derby.ClassCluster)
 	if err != nil {
 		return nil, err
 	}

@@ -17,11 +17,10 @@ import (
 // variant defers materialization to whoever consumes the table. This is the
 // observation that led the authors into §4's Handle investigation.
 func (r *Runner) RidsOrHandles() (*Table, error) {
-	d, unlock, err := r.selectionDataset()
+	d, err := r.selectionDataset()
 	if err != nil {
 		return nil, err
 	}
-	defer unlock()
 	t := &Table{
 		ID:    "R1",
 		Title: "Hash table of selected patients: Rids or Handles? (§4.1)",

@@ -107,7 +107,8 @@ func TestRunManyEmitError(t *testing.T) {
 }
 
 // TestSingleflightDatasetGeneration hammers the dataset cache from many
-// goroutines: all callers must see the same generated instance.
+// goroutines: generation is singleflight (every caller's session forks off
+// the same frozen snapshot), while the sessions themselves are private.
 func TestSingleflightDatasetGeneration(t *testing.T) {
 	r, err := NewRunner(Config{SF: 100, Seed: 1997})
 	if err != nil {
@@ -115,24 +116,28 @@ func TestSingleflightDatasetGeneration(t *testing.T) {
 	}
 	p, a := r.smallScale()
 	const callers = 8
-	results := make([]any, callers)
+	sessions := make([]*derby.Dataset, callers)
+	errs := make([]error, callers)
 	var wg sync.WaitGroup
 	for i := 0; i < callers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			d, err := r.dataset(p, a, derby.ClassCluster)
-			if err != nil {
-				results[i] = err
-				return
-			}
-			results[i] = d
+			sessions[i], errs[i] = r.dataset(p, a, derby.ClassCluster)
 		}(i)
 	}
 	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if n := r.shared.snapshots.Len(); n != 1 {
+		t.Fatalf("generated %d snapshots for one configuration, want 1", n)
+	}
 	for i := 1; i < callers; i++ {
-		if results[i] != results[0] {
-			t.Fatalf("caller %d got a different dataset: %v vs %v", i, results[i], results[0])
+		if sessions[i].DB == sessions[0].DB {
+			t.Fatalf("callers %d and 0 share an engine session", i)
 		}
 	}
 }

@@ -10,15 +10,11 @@ import (
 
 // selectionDataset is the database the §4.2 selection experiments run on:
 // the 2,000×1,000 class-clustered database, whose Patients extent carries
-// the unclustered index on num. It returns with the dataset's run lock
-// held; the caller must defer the returned unlock.
-func (r *Runner) selectionDataset() (*derby.Dataset, func(), error) {
+// the unclustered index on num. Each call returns a fresh private session
+// forked from the shared snapshot, so no run lock is needed.
+func (r *Runner) selectionDataset() (*derby.Dataset, error) {
 	p, a := r.smallScale()
-	d, err := r.dataset(p, a, derby.ClassCluster)
-	if err != nil {
-		return nil, nil, err
-	}
-	return d, r.lockDataset(p, a, derby.ClassCluster), nil
+	return r.dataset(p, a, derby.ClassCluster)
 }
 
 // selPred builds `num > k` keeping selPermille‰ of the patients (the num
@@ -28,8 +24,8 @@ func selPred(n int, selPermille int) selection.Pred {
 	return selection.Pred{Attr: "num", Op: selection.Gt, K: k}
 }
 
-// coldSelection runs one access path cold and records it. The caller must
-// hold the dataset's run lock.
+// coldSelection runs one access path cold on the caller's session and
+// records it.
 func (r *Runner) coldSelection(d *derby.Dataset, selPermille int, access selection.Access) (*selection.Result, error) {
 	d.DB.ColdRestart()
 	req := selection.Request{
@@ -70,11 +66,10 @@ func (r *Runner) coldSelection(d *derby.Dataset, selPermille int, access selecti
 // the scan, and an index that starts re-reading pages somewhere between 1
 // and 5% selectivity, eventually exceeding the scan's page count.
 func (r *Runner) Fig6() (*Table, error) {
-	d, unlock, err := r.selectionDataset()
+	d, err := r.selectionDataset()
 	if err != nil {
 		return nil, err
 	}
-	defer unlock()
 	t := &Table{
 		ID:      "F6",
 		Title:   "Selection on Patients: unclustered index vs no index (time in sec, pages read)",
@@ -111,11 +106,10 @@ func (r *Runner) Fig6() (*Table, error) {
 // no-index scan at 10/30/60/90% selectivity. The sorted index wins at every
 // selectivity, even when it reads all collection pages plus the index.
 func (r *Runner) Fig7() (*Table, error) {
-	d, unlock, err := r.selectionDataset()
+	d, err := r.selectionDataset()
 	if err != nil {
 		return nil, err
 	}
-	defer unlock()
 	t := &Table{
 		ID:      "F7",
 		Title:   "Comparing Sorted Unclustered Index with No Index (time in sec)",
@@ -139,11 +133,10 @@ func (r *Runner) Fig7() (*Table, error) {
 // the sorted index scan at 90% selectivity: where does the time that is not
 // spent on reads go?
 func (r *Runner) Fig9() (*Table, error) {
-	d, unlock, err := r.selectionDataset()
+	d, err := r.selectionDataset()
 	if err != nil {
 		return nil, err
 	}
-	defer unlock()
 	scan, err := r.coldSelection(d, 900, selection.FullScan)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,73 @@
+package derby
+
+import (
+	"treebench/internal/engine"
+	"treebench/internal/storage"
+)
+
+// Snapshot is a frozen Derby database: one immutable engine snapshot plus
+// the generation bookkeeping every forked session shares (scale, rid maps,
+// the load report). Generate once, Freeze, then Fork a Dataset per session
+// — N concurrent sessions cost one generation and one page image, not N.
+type Snapshot struct {
+	Engine *engine.Snapshot
+
+	numProviders int
+	numPatients  int
+	clustering   Clustering
+	providerRids []storage.Rid
+	patientRids  []storage.Rid
+	load         LoadReport
+}
+
+// Freeze seals the dataset's database into a shareable Snapshot (see
+// engine.Session.Freeze). The dataset's own session becomes read-only.
+func (d *Dataset) Freeze() (*Snapshot, error) {
+	es, err := d.DB.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Engine:       es,
+		numProviders: d.NumProviders,
+		numPatients:  d.NumPatients,
+		clustering:   d.Clustering,
+		providerRids: d.ProviderRids,
+		patientRids:  d.PatientRids,
+		load:         d.Load,
+	}, nil
+}
+
+// Fork returns a read-only Dataset over the snapshot: a fresh cold session
+// sharing the frozen pages. A fork behaves exactly like a freshly
+// generated private copy after ColdRestart — same extents, same rids, same
+// simulated numbers — at O(catalog) cost.
+func (s *Snapshot) Fork() *Dataset { return s.bind(s.Engine.Fork()) }
+
+// ForkMutable returns a writable Dataset over the snapshot; writes go to
+// the session's private copy-on-write overlay (see
+// engine.Snapshot.ForkMutable). The §4.4 retire experiment runs its update
+// waves on such a fork without disturbing the shared image.
+func (s *Snapshot) ForkMutable() *Dataset { return s.bind(s.Engine.ForkMutable()) }
+
+func (s *Snapshot) bind(db *engine.Session) *Dataset {
+	prov, err := db.Extent("Providers")
+	if err != nil {
+		panic("derby: snapshot lost Providers extent")
+	}
+	pat, err := db.Extent("Patients")
+	if err != nil {
+		panic("derby: snapshot lost Patients extent")
+	}
+	return &Dataset{
+		DB:           db,
+		Providers:    prov,
+		Patients:     pat,
+		NumProviders: s.numProviders,
+		NumPatients:  s.numPatients,
+		Clustering:   s.clustering,
+		ProviderRids: s.providerRids,
+		PatientRids:  s.patientRids,
+		Load:         s.load,
+	}
+}

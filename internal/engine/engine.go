@@ -85,9 +85,13 @@ func (ix *Index) Stats(p storage.Pager) (*histogram.Histogram, error) {
 // InvalidateStats drops the cached histogram (called on index updates).
 func (ix *Index) InvalidateStats() { ix.stats = nil }
 
-// Database is one database plus one session over it (the paper's setup:
-// a single client and its server on one machine).
-type Database struct {
+// Session is one execution context over a database: the page caches, the
+// meter, the handle table and transaction state one client pays for, plus
+// its private view of the catalog (extents, indexes, roots). A Session
+// built by New owns its database exclusively (the paper's setup: a single
+// client and its server on one machine); Freeze turns that database into
+// an immutable Snapshot from which further Sessions fork in O(1).
+type Session struct {
 	Store   *storage.Store
 	Meter   *sim.Meter
 	Machine sim.Machine
@@ -102,11 +106,39 @@ type Database struct {
 	nextIdx       uint32
 	roots         map[string]storage.Rid
 	relationships []*Relationship
+
+	// readOnly marks a session that shares frozen pages it must never
+	// mutate: the builder after Freeze, and every Snapshot.Fork. The guard
+	// runs before any shared buffer is touched — the storage layer's
+	// ErrReadOnly is only the backstop behind it.
+	readOnly bool
+}
+
+// Database is the session's historical name, kept as an alias so existing
+// callers (and the public facade) keep compiling.
+type Database = Session
+
+// ErrReadOnlySession is returned by mutating operations on a read-only
+// session.
+var ErrReadOnlySession = errors.New("engine: read-only session (forked from a snapshot); use Snapshot.ForkMutable for writes")
+
+// ReadOnly reports whether the session rejects mutations.
+func (db *Session) ReadOnly() bool { return db.readOnly }
+
+// mutable fails with ErrReadOnlySession on a read-only session. Every
+// mutating engine operation calls it first: pages are mutated in place
+// before Write is ever called, so the check must run before any buffer is
+// handed out.
+func (db *Session) mutable() error {
+	if db.readOnly {
+		return ErrReadOnlySession
+	}
+	return nil
 }
 
 // New creates an empty database with the given hardware model and
 // transaction mode.
-func New(machine sim.Machine, model sim.CostModel, mode txn.Mode) *Database {
+func New(machine sim.Machine, model sim.CostModel, mode txn.Mode) *Session {
 	meter := sim.NewMeter(model)
 	store := storage.NewStore(0)
 	srv, cli := cache.Hierarchy(store.Disk, meter, machine)
@@ -127,12 +159,12 @@ func New(machine sim.Machine, model sim.CostModel, mode txn.Mode) *Database {
 }
 
 // Pager returns the session's page source (the client cache).
-func (db *Database) Pager() storage.Pager { return db.Client }
+func (db *Session) Pager() storage.Pager { return db.Client }
 
 // ColdRestart empties both caches and the handle-sharing table, simulating
 // the paper's server shutdown between measured queries, and resets the
 // meter so the next query is measured from zero on a cold system.
-func (db *Database) ColdRestart() {
+func (db *Session) ColdRestart() {
 	db.Client.Shutdown()
 	db.Handles = object.NewTable(db.Meter, db.Client, db.Classes)
 	db.Meter.Reset()
@@ -141,7 +173,10 @@ func (db *Database) ColdRestart() {
 // CreateExtent registers a class and creates its extent backed by the named
 // file. Several extents may share one file (random/composition layouts):
 // pass the name of an existing file to join it.
-func (db *Database) CreateExtent(name string, class *object.Class, fileName string) (*Extent, error) {
+func (db *Session) CreateExtent(name string, class *object.Class, fileName string) (*Extent, error) {
+	if err := db.mutable(); err != nil {
+		return nil, err
+	}
 	if _, ok := db.extents[name]; ok {
 		return nil, fmt.Errorf("%w: extent %q already exists", ErrUnknown, name)
 	}
@@ -163,7 +198,7 @@ func (db *Database) CreateExtent(name string, class *object.Class, fileName stri
 }
 
 // Extent returns the named extent.
-func (db *Database) Extent(name string) (*Extent, error) {
+func (db *Session) Extent(name string) (*Extent, error) {
 	e, ok := db.extents[name]
 	if !ok {
 		return nil, fmt.Errorf("%w extent %q", ErrUnknown, name)
@@ -172,7 +207,7 @@ func (db *Database) Extent(name string) (*Extent, error) {
 }
 
 // Extents returns all extent names, sorted.
-func (db *Database) Extents() []string {
+func (db *Session) Extents() []string {
 	out := make([]string, 0, len(db.extents))
 	for n := range db.extents {
 		out = append(out, n)
@@ -183,14 +218,17 @@ func (db *Database) Extents() []string {
 
 // Insert appends a new object to the extent, maintaining its indexes. The
 // header gets index slots if the extent is (or was made) indexed.
-func (db *Database) Insert(tx *txn.Txn, e *Extent, values []object.Value) (storage.Rid, error) {
+func (db *Session) Insert(tx *txn.Txn, e *Extent, values []object.Value) (storage.Rid, error) {
 	return db.InsertAs(tx, e, e.Class, values)
 }
 
 // InsertAs appends an object of cls — e.Class or any subclass of it — to
 // the extent (extents are polymorphic, per the ODMG model §4.4 implies
 // with "exact type (because of inheritance)").
-func (db *Database) InsertAs(tx *txn.Txn, e *Extent, cls *object.Class, values []object.Value) (storage.Rid, error) {
+func (db *Session) InsertAs(tx *txn.Txn, e *Extent, cls *object.Class, values []object.Value) (storage.Rid, error) {
+	if err := db.mutable(); err != nil {
+		return storage.Rid{}, err
+	}
 	if !cls.IsSubclassOf(e.Class) {
 		return storage.Rid{}, fmt.Errorf("engine: class %s is not a kind of %s", cls.Name, e.Class.Name)
 	}
@@ -263,7 +301,10 @@ func RefKey(r storage.Rid) int64 { return int64(r.Page)<<16 | int64(r.Slot) }
 // grow — forcing the system "to reallocate all objects on disk", which both
 // takes time and destroys the physical organization. The relocation count
 // is returned for the loading experiments.
-func (db *Database) CreateIndex(e *Extent, attr string, clustered bool) (*Index, int, error) {
+func (db *Session) CreateIndex(e *Extent, attr string, clustered bool) (*Index, int, error) {
+	if err := db.mutable(); err != nil {
+		return nil, 0, err
+	}
 	ai := e.Class.AttrIndex(attr)
 	if ai < 0 {
 		return nil, 0, fmt.Errorf("%w attribute %s.%s", ErrUnknown, e.Class.Name, attr)
@@ -339,7 +380,7 @@ func (db *Database) CreateIndex(e *Extent, attr string, clustered bool) (*Index,
 }
 
 // IndexOn returns the index over extent.attr, or nil.
-func (db *Database) IndexOn(extent, attr string) *Index {
+func (db *Session) IndexOn(extent, attr string) *Index {
 	e, ok := db.extents[extent]
 	if !ok {
 		return nil
@@ -353,13 +394,16 @@ func (db *Database) IndexOn(extent, attr string) *Index {
 }
 
 // IndexByID resolves an index id from an object header.
-func (db *Database) IndexByID(id uint32) *Index { return db.indexes[id] }
+func (db *Session) IndexByID(id uint32) *Index { return db.indexes[id] }
 
 // UpdateAttr overwrites one attribute of the object at rid, maintaining any
 // index on that attribute. This is the §4.4 scenario ("one doctor retires
 // and we want to assign nil to all his/her patients"): the object's header
 // tells the system which indexes to fix without scanning them all.
-func (db *Database) UpdateAttr(tx *txn.Txn, e *Extent, rid storage.Rid, attr string, v object.Value) error {
+func (db *Session) UpdateAttr(tx *txn.Txn, e *Extent, rid storage.Rid, attr string, v object.Value) error {
+	if err := db.mutable(); err != nil {
+		return err
+	}
 	ai := e.Class.AttrIndex(attr)
 	if ai < 0 {
 		return fmt.Errorf("%w attribute %s.%s", ErrUnknown, e.Class.Name, attr)

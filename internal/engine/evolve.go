@@ -20,14 +20,20 @@ import (
 // EvolveClass appends an attribute to the extent's class with a default
 // for pre-existing objects. Nothing is rewritten: old records answer reads
 // of the new attribute with the default until they are upgraded.
-func (db *Database) EvolveClass(e *Extent, a object.Attr, def object.Value) error {
+func (db *Session) EvolveClass(e *Extent, a object.Attr, def object.Value) error {
+	if err := db.mutable(); err != nil {
+		return err
+	}
 	return e.Class.AddAttr(a, def)
 }
 
 // UpgradeObject re-encodes the object at rid at its class's current epoch.
 // The record grows, so this can relocate it — schema evolution has the
 // same storm mechanics as §3.2's late indexing.
-func (db *Database) UpgradeObject(tx *txn.Txn, e *Extent, rid storage.Rid) (upgraded, relocated bool, err error) {
+func (db *Session) UpgradeObject(tx *txn.Txn, e *Extent, rid storage.Rid) (upgraded, relocated bool, err error) {
+	if err := db.mutable(); err != nil {
+		return false, false, err
+	}
 	rec, err := storage.Get(db.Client, rid)
 	if err != nil {
 		return false, false, err
@@ -50,7 +56,10 @@ func (db *Database) UpgradeObject(tx *txn.Txn, e *Extent, rid storage.Rid) (upgr
 
 // UpgradeExtent upgrades every object of the extent, returning how many
 // records changed and how many the growth relocated.
-func (db *Database) UpgradeExtent(tx *txn.Txn, e *Extent) (upgraded, relocated int, err error) {
+func (db *Session) UpgradeExtent(tx *txn.Txn, e *Extent) (upgraded, relocated int, err error) {
+	if err := db.mutable(); err != nil {
+		return 0, 0, err
+	}
 	type pending struct{ rid storage.Rid }
 	var stale []pending
 	err = e.File.Scan(db.Client, func(rid storage.Rid, rec []byte) (bool, error) {
@@ -98,7 +107,7 @@ type VersionInfo struct {
 	Snapshot storage.Rid
 }
 
-func (db *Database) versionFile(name string) (*storage.File, error) {
+func (db *Session) versionFile(name string) (*storage.File, error) {
 	f, err := db.Store.File(name)
 	if err == nil {
 		return f, nil
@@ -110,7 +119,10 @@ func (db *Database) versionFile(name string) (*storage.File, error) {
 // returns the new version number (1 for the first snapshot). The live
 // record keeps evolving in place; snapshots are immutable full records
 // readable with the usual codec.
-func (db *Database) CreateVersion(tx *txn.Txn, e *Extent, rid storage.Rid) (uint32, error) {
+func (db *Session) CreateVersion(tx *txn.Txn, e *Extent, rid storage.Rid) (uint32, error) {
+	if err := db.mutable(); err != nil {
+		return 0, err
+	}
 	rec, err := storage.Get(db.Client, rid)
 	if err != nil {
 		return 0, err
@@ -153,7 +165,7 @@ func (db *Database) CreateVersion(tx *txn.Txn, e *Extent, rid storage.Rid) (uint
 }
 
 // Versions lists the saved versions of the object at rid, oldest first.
-func (db *Database) Versions(rid storage.Rid) ([]VersionInfo, error) {
+func (db *Session) Versions(rid storage.Rid) ([]VersionInfo, error) {
 	f, err := db.Store.File(versionChainFile)
 	if err != nil {
 		return nil, nil // no versions ever created
@@ -181,7 +193,7 @@ func (db *Database) Versions(rid storage.Rid) ([]VersionInfo, error) {
 }
 
 // ReadVersionAttr reads one attribute from a saved snapshot.
-func (db *Database) ReadVersionAttr(e *Extent, v VersionInfo, attr string) (object.Value, error) {
+func (db *Session) ReadVersionAttr(e *Extent, v VersionInfo, attr string) (object.Value, error) {
 	i := e.Class.AttrIndex(attr)
 	if i < 0 {
 		return object.Value{}, fmt.Errorf("%w attribute %s.%s", ErrUnknown, e.Class.Name, attr)

@@ -19,7 +19,7 @@ import (
 // information?").
 
 // SetRoot registers (or moves) a named persistence root.
-func (db *Database) SetRoot(name string, rid storage.Rid) {
+func (db *Session) SetRoot(name string, rid storage.Rid) {
 	if db.roots == nil {
 		db.roots = make(map[string]storage.Rid)
 	}
@@ -28,12 +28,12 @@ func (db *Database) SetRoot(name string, rid storage.Rid) {
 
 // RemoveRoot drops a named root. Objects only it reached become garbage at
 // the next sweep.
-func (db *Database) RemoveRoot(name string) {
+func (db *Session) RemoveRoot(name string) {
 	delete(db.roots, name)
 }
 
 // Roots returns the named roots.
-func (db *Database) Roots() map[string]storage.Rid {
+func (db *Session) Roots() map[string]storage.Rid {
 	out := make(map[string]storage.Rid, len(db.roots))
 	for k, v := range db.roots {
 		out[k] = v
@@ -57,7 +57,7 @@ type SweepReport struct {
 // the set of reachable rids. Traversal reads records through the cache and
 // charges handle costs per visited object, like the real system's sweep
 // would.
-func (db *Database) markReachable() (map[storage.Rid]bool, error) {
+func (db *Session) markReachable() (map[storage.Rid]bool, error) {
 	seen := make(map[storage.Rid]bool)
 	var frontier []storage.Rid
 	for _, rid := range db.roots {
@@ -116,7 +116,7 @@ func (db *Database) markReachable() (map[storage.Rid]bool, error) {
 
 // SweepReachability marks reachable objects and reports how much of each
 // extent would be garbage, without deleting anything.
-func (db *Database) SweepReachability() (SweepReport, error) {
+func (db *Session) SweepReachability() (SweepReport, error) {
 	seen, err := db.markReachable()
 	if err != nil {
 		return SweepReport{}, err
@@ -146,7 +146,7 @@ func (db *Database) SweepReachability() (SweepReport, error) {
 // CollectGarbage deletes every object unreachable from the roots,
 // maintaining indexes via the objects' header membership lists and
 // updating extent counts.
-func (db *Database) CollectGarbage() (SweepReport, error) {
+func (db *Session) CollectGarbage() (SweepReport, error) {
 	seen, err := db.markReachable()
 	if err != nil {
 		return SweepReport{}, err
@@ -186,7 +186,7 @@ func (db *Database) CollectGarbage() (SweepReport, error) {
 
 // deleteObject removes one object: its index entries (found through the
 // header), then the record itself.
-func (db *Database) deleteObject(e *Extent, rid storage.Rid) (indexEntries int, err error) {
+func (db *Session) deleteObject(e *Extent, rid storage.Rid) (indexEntries int, err error) {
 	rec, err := storage.Get(db.Client, rid)
 	if err != nil {
 		return 0, err

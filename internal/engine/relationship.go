@@ -30,7 +30,10 @@ type Relationship struct {
 
 // DefineRelationship declares the 1-n relationship between
 // parent.setAttr and child.refAttr.
-func (db *Database) DefineRelationship(parent *Extent, setAttr string, child *Extent, refAttr string) (*Relationship, error) {
+func (db *Session) DefineRelationship(parent *Extent, setAttr string, child *Extent, refAttr string) (*Relationship, error) {
+	if err := db.mutable(); err != nil {
+		return nil, err
+	}
 	si := parent.Class.AttrIndex(setAttr)
 	if si < 0 || parent.Class.Attrs[si].Kind != object.KindSet {
 		return nil, fmt.Errorf("engine: %s.%s is not a set attribute", parent.Class.Name, setAttr)
@@ -49,7 +52,7 @@ func (db *Database) DefineRelationship(parent *Extent, setAttr string, child *Ex
 
 // setHead reads a parent's collection head, creating an empty collection
 // in the parent's file if the attribute is still nil.
-func (db *Database) setHead(rel *Relationship, parentRid storage.Rid) (storage.Rid, error) {
+func (db *Session) setHead(rel *Relationship, parentRid storage.Rid) (storage.Rid, error) {
 	rec, err := storage.Get(db.Client, parentRid)
 	if err != nil {
 		return storage.Rid{}, err
@@ -75,7 +78,10 @@ func (db *Database) setHead(rel *Relationship, parentRid storage.Rid) (storage.R
 // maintaining both relationship sides and any index on the reference
 // attribute. It is the engine's version of §4.4's retire-a-doctor update
 // done *correctly* — the clients sets never go stale.
-func (rel *Relationship) SetParent(db *Database, tx *txn.Txn, childRid, newParent storage.Rid) error {
+func (rel *Relationship) SetParent(db *Session, tx *txn.Txn, childRid, newParent storage.Rid) error {
+	if err := db.mutable(); err != nil {
+		return err
+	}
 	rec, err := storage.Get(db.Client, childRid)
 	if err != nil {
 		return err
@@ -122,7 +128,7 @@ func (rel *Relationship) SetParent(db *Database, tx *txn.Txn, childRid, newParen
 }
 
 // headOf reads a parent's set head without creating one.
-func (rel *Relationship) headOf(db *Database, parentRid storage.Rid) (storage.Rid, error) {
+func (rel *Relationship) headOf(db *Session, parentRid storage.Rid) (storage.Rid, error) {
 	rec, err := storage.Get(db.Client, parentRid)
 	if err != nil {
 		return storage.Rid{}, err
@@ -135,7 +141,7 @@ func (rel *Relationship) headOf(db *Database, parentRid storage.Rid) (storage.Ri
 }
 
 // Children lists the child rids of a parent through the relationship.
-func (rel *Relationship) Children(db *Database, parentRid storage.Rid) ([]storage.Rid, error) {
+func (rel *Relationship) Children(db *Session, parentRid storage.Rid) ([]storage.Rid, error) {
 	head, err := rel.headOf(db, parentRid)
 	if err != nil || head.IsNil() {
 		return nil, err
@@ -146,7 +152,7 @@ func (rel *Relationship) Children(db *Database, parentRid storage.Rid) ([]storag
 // VerifyConsistency checks both relationship sides agree: every child's
 // reference matches exactly one membership, and every set member points
 // back. It is diagnostic support for tests and the shell.
-func (rel *Relationship) VerifyConsistency(db *Database) error {
+func (rel *Relationship) VerifyConsistency(db *Session) error {
 	// Forward: each parent's members point back at it.
 	memberships := make(map[storage.Rid]storage.Rid)
 	err := rel.Parent.File.Scan(db.Client, func(prid storage.Rid, rec []byte) (bool, error) {

@@ -79,6 +79,15 @@ func New(p storage.Pager, id uint32, name string) (*Tree, error) {
 // Root returns the root page id.
 func (t *Tree) Root() storage.PageID { return t.root }
 
+// Clone returns an independent copy of the tree's in-memory descriptor for
+// a forked session. The node pages themselves live on the session's disk
+// and are shared (or copied on write) there; only the root/size bookkeeping
+// needs to be private per fork.
+func (t *Tree) Clone() *Tree {
+	c := *t
+	return &c
+}
+
 // Len returns the number of entries.
 func (t *Tree) Len() int { return t.n }
 

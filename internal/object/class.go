@@ -121,3 +121,58 @@ func (r *Registry) Names() []string {
 	sort.Strings(out)
 	return out
 }
+
+// Clone deep-copies the registry and its whole class graph (inheritance
+// links included) for a mutable forked session, which may evolve classes in
+// place. It returns the copy and a remap function translating any class
+// pointer from the original graph to its clone (nil maps to nil). IDs,
+// layouts and the next-ID counter are preserved exactly.
+func (r *Registry) Clone() (*Registry, func(*Class) *Class) {
+	memo := make(map[*Class]*Class, len(r.byID))
+	var cloneClass func(c *Class) *Class
+	cloneClass = func(c *Class) *Class {
+		if c == nil {
+			return nil
+		}
+		if cc, ok := memo[c]; ok {
+			return cc
+		}
+		cc := &Class{
+			ID:     c.ID,
+			Name:   c.Name,
+			Attrs:  append([]Attr(nil), c.Attrs...),
+			width:  c.width,
+			byName: make(map[string]int, len(c.byName)),
+		}
+		// Insert before recursing: parent and subclasses form cycles.
+		memo[c] = cc
+		cc.offsets = append([]int(nil), c.offsets...)
+		for k, v := range c.byName {
+			cc.byName[k] = v
+		}
+		cc.epochAttrs = append([]int(nil), c.epochAttrs...)
+		cc.defaults = append([]Value(nil), c.defaults...)
+		cc.parent = cloneClass(c.parent)
+		for _, sub := range c.subclasses {
+			cc.subclasses = append(cc.subclasses, cloneClass(sub))
+		}
+		return cc
+	}
+	nr := &Registry{
+		byID:   make(map[uint16]*Class, len(r.byID)),
+		byName: make(map[string]*Class, len(r.byName)),
+		nextID: r.nextID,
+	}
+	for id, c := range r.byID {
+		nr.byID[id] = cloneClass(c)
+	}
+	for name, c := range r.byName {
+		nr.byName[name] = cloneClass(c)
+	}
+	return nr, func(c *Class) *Class {
+		if c == nil {
+			return nil
+		}
+		return cloneClass(c)
+	}
+}

@@ -26,9 +26,13 @@ type conn struct {
 	// force-closes idle connections.
 	busy bool
 
-	// pinned is the replica a warm session holds between queries. Only the
-	// session goroutine touches it.
-	pinned *replica
+	// sess is the connection's engine session, forked lazily from the
+	// shared snapshot on the first query. warmed reports whether the
+	// session's caches are in the state the connection's own warm queries
+	// left them (a cold query or a timeout invalidates that). Only the
+	// session goroutine touches either.
+	sess   *session.Session
+	warmed bool
 }
 
 func (c *conn) serve() {
@@ -38,10 +42,6 @@ func (c *conn) serve() {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
-		if c.pinned != nil {
-			s.pool.release(c.pinned)
-			c.pinned = nil
-		}
 		c.c.Close()
 	}()
 	s.metrics.sessionOpened()
@@ -139,6 +139,22 @@ func (c *conn) sendError(code byte, err error) bool {
 	return c.send(wire.TypeError, (&wire.Error{Code: code, Msg: err.Error()}).Encode())
 }
 
+// session returns the connection's engine session, forking it from the
+// shared snapshot on first use. The fork is O(1); generation (if nobody
+// triggered it yet) is singleflight across all connections.
+func (c *conn) session() (*session.Session, error) {
+	if c.sess != nil {
+		return c.sess, nil
+	}
+	sn, err := c.srv.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	c.sess = session.New(sn.Fork().DB)
+	c.warmed = false
+	return c.sess, nil
+}
+
 // query admits, executes and answers one Query request.
 func (c *conn) query(q *wire.Query) bool {
 	s := c.srv
@@ -149,26 +165,20 @@ func (c *conn) query(q *wire.Query) bool {
 		return c.sendError(code, err)
 	}
 
-	// Pick the engine. Warm sessions keep their pinned replica; everything
-	// else checks one out of the pool for the duration of the query.
-	r := c.pinned
-	fromPool := false
-	if r == nil {
-		r, err = s.pool.acquire(deadline)
-		if err != nil {
-			release()
-			s.metrics.reject()
-			return c.sendError(wire.CodeBusy, err)
-		}
-		fromPool = true
+	sess, err := c.session()
+	if err != nil {
+		release()
+		s.metrics.reject()
+		return c.sendError(wire.CodeBusy, err)
 	}
-	// A session's first warm query starts from a cold replica: the warm
-	// sequence is then a deterministic function of the session's own
-	// queries, whatever the replica served before.
-	if q.Warm && fromPool {
-		r.sess.DB.ColdRestart()
+	// A connection's first warm query starts from a cold restart: the warm
+	// sequence is then a deterministic function of the connection's own
+	// queries. Later warm queries keep whatever its earlier ones cached; a
+	// cold query in between restarts the discipline.
+	if q.Warm && !c.warmed {
+		sess.DB.ColdRestart()
 	}
-	keepPin := q.Warm
+	c.warmed = q.Warm
 
 	type reply struct {
 		typ     byte
@@ -176,13 +186,14 @@ func (c *conn) query(q *wire.Query) bool {
 	}
 	done := make(chan reply, 1)
 	s.execWg.Add(1)
+	s.busy.Add(1)
 	go func() {
 		defer s.execWg.Done()
+		defer s.busy.Add(-1)
 		if s.beforeExecute != nil {
 			s.beforeExecute()
 		}
 		start := time.Now()
-		sess := r.sess
 		sess.Cold = !q.Warm
 		if q.Strategy == wire.StrategyHeuristic {
 			sess.Planner.Strategy = oql.Heuristic
@@ -204,31 +215,21 @@ func (c *conn) query(q *wire.Query) bool {
 	defer t.Stop()
 	select {
 	case rep := <-done:
-		if keepPin {
-			c.pinned = r
-		} else {
-			if c.pinned == r {
-				c.pinned = nil
-			}
-			s.pool.release(r)
-		}
 		release()
 		return c.send(rep.typ, rep.payload)
 	case <-t.C:
 		// The engine cannot be interrupted mid-query: answer the client
-		// now, and let a reaper return the replica and admission slot when
-		// the abandoned execution finishes. The replica is never pinned
-		// after a timeout — its cache state no longer matches what this
-		// session observed.
-		if c.pinned == r {
-			c.pinned = nil
-		}
+		// now and abandon the session to the stray execution — the next
+		// query forks a fresh one (cheap, thanks to the snapshot), so the
+		// connection never observes the abandoned run's cache state. A
+		// reaper frees the admission slot when the execution finishes.
+		c.sess = nil
+		c.warmed = false
 		s.metrics.timeout()
 		s.execWg.Add(1)
 		go func() {
 			defer s.execWg.Done()
 			<-done
-			s.pool.release(r)
 			release()
 		}()
 		return c.sendError(wire.CodeTimeout, errQueryTimeout(s.cfg.QueryTimeout))

@@ -62,9 +62,9 @@ func (m *metrics) record(wall, simulated time.Duration, queryErr bool) {
 	m.simMs = append(m.simMs, simulated.Milliseconds())
 }
 
-// snapshot renders the current state. Queue depth and replica occupancy are
-// read from the server's live gauges by the caller.
-func (m *metrics) snapshot(queueDepth, replicas, busyReplicas int64) *wire.Stats {
+// snapshot renders the current state. Queue depth, session occupancy and
+// snapshot memory are read from the server's live gauges by the caller.
+func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, snapshotBytes int64) *wire.Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &wire.Stats{
@@ -74,8 +74,10 @@ func (m *metrics) snapshot(queueDepth, replicas, busyReplicas int64) *wire.Stats
 		TimedOut:       m.timedOut,
 		ActiveSessions: m.sessions,
 		QueueDepth:     queueDepth,
-		Replicas:       replicas,
-		BusyReplicas:   busyReplicas,
+		Sessions:       sessions,
+		BusySessions:   busySessions,
+		SnapshotPages:  snapshotPages,
+		SnapshotBytes:  snapshotBytes,
 	}
 	s.WallP50us, s.WallP95us, s.WallP99us, s.WallHist = summarize(m.wallUs)
 	s.SimP50ms, s.SimP95ms, s.SimP99ms, s.SimHist = summarize(m.simMs)

@@ -9,21 +9,20 @@
 //   - Each accepted connection is one session. A session speaks the
 //     internal/wire protocol: Hello handshake, then Query/Ping/StatsReq
 //     requests answered in order.
-//   - Queries execute on a pool of engine replicas — independently
-//     generated, deterministic copies of one Derby database — so N
-//     sessions run truly concurrently instead of serializing on one
-//     single-threaded engine. Replicas generate lazily, singleflight per
-//     slot (the experiment scheduler's dataset discipline).
+//   - The database is generated exactly once (singleflight) and frozen
+//     into an immutable engine snapshot. Each connection's queries run on
+//     a private session forked from that snapshot in O(1): fresh caches,
+//     meter and handle table over the one shared page image. N sessions
+//     therefore cost one generation and one copy of the data, not N.
 //   - Admission control bounds concurrently executing queries at
 //     MaxConcurrent, queues at most MaxQueue waiters, and rejects beyond
 //     that; every admitted query gets a wall-clock budget of QueryTimeout
 //     covering queue wait and execution.
-//   - Cold queries (the default) cold-restart their replica first, so any
-//     replica serves them identically and results are byte-identical to a
-//     local oqlsh run. A session's first warm query pins a replica to the
-//     session after one cold restart: the session's simulated numbers then
-//     depend only on its own query history, keeping warm sequences
-//     deterministic per session.
+//   - Cold queries (the default) cold-restart the session first, so every
+//     result is byte-identical to a local oqlsh run. A session's first
+//     warm query also starts from a cold restart: the warm sequence is
+//     then a deterministic function of the connection's own query history
+//     — forked sessions share no meter or cache state.
 //   - Shutdown drains gracefully: the listener closes, idle sessions are
 //     disconnected, in-flight queries finish and flush their responses.
 package server
@@ -47,17 +46,17 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Config parameterizes a Server.
 type Config struct {
-	// Generate builds one engine replica (deterministic, so all replicas
-	// are identical). Required.
+	// Generate builds the database (deterministic). It runs exactly once;
+	// every session forks from the frozen result. Required.
 	Generate func() (*derby.Dataset, error)
 	// Label names the served database in the handshake.
 	Label string
-	// Replicas is the engine pool size; 0 means the scheduler's worker
-	// default (TREEBENCH_JOBS or min(NumCPU, 8)).
-	Replicas int
+	// Sessions sizes the server for that many concurrently executing
+	// sessions; 0 means the scheduler's worker default (TREEBENCH_JOBS or
+	// min(NumCPU, 8)). It is the default and the cap for MaxConcurrent.
+	Sessions int
 	// MaxConcurrent bounds concurrently executing queries; 0 means
-	// Replicas. Values above Replicas are clamped (an admission slot
-	// without an engine to run on would only deepen the pool queue).
+	// Sessions. Values above Sessions are clamped.
 	MaxConcurrent int
 	// MaxQueue bounds queries waiting for an admission slot; beyond it
 	// queries are rejected immediately with CodeBusy. 0 means no queue.
@@ -72,10 +71,18 @@ type Config struct {
 // Server is a treebenchd instance.
 type Server struct {
 	cfg     Config
-	pool    *pool
 	sem     chan struct{}
 	waiters atomic.Int64
 	metrics metrics
+
+	// snapFlight generates-and-freezes the database exactly once, however
+	// many sessions race to first use — the same singleflight discipline
+	// the experiment scheduler uses for its datasets.
+	snapFlight core.Flight[struct{}, *derby.Snapshot]
+	// snap publishes the generated snapshot for Stats (nil until then).
+	snap atomic.Pointer[derby.Snapshot]
+	// busy counts currently executing queries.
+	busy atomic.Int64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -97,14 +104,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Generate == nil {
 		return nil, fmt.Errorf("server: Config.Generate is required")
 	}
-	if cfg.Replicas == 0 {
-		cfg.Replicas = core.JobsFromEnv(core.DefaultJobs())
+	if cfg.Sessions == 0 {
+		cfg.Sessions = core.JobsFromEnv(core.DefaultJobs())
 	}
-	if cfg.Replicas < 1 {
-		return nil, fmt.Errorf("server: replicas %d < 1", cfg.Replicas)
+	if cfg.Sessions < 1 {
+		return nil, fmt.Errorf("server: sessions %d < 1", cfg.Sessions)
 	}
-	if cfg.MaxConcurrent == 0 || cfg.MaxConcurrent > cfg.Replicas {
-		cfg.MaxConcurrent = cfg.Replicas
+	if cfg.MaxConcurrent == 0 || cfg.MaxConcurrent > cfg.Sessions {
+		cfg.MaxConcurrent = cfg.Sessions
 	}
 	if cfg.MaxConcurrent < 1 {
 		return nil, fmt.Errorf("server: max concurrent %d < 1", cfg.MaxConcurrent)
@@ -117,7 +124,6 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:     cfg,
-		pool:    newPool(cfg.Replicas, cfg.Generate),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		conns:   make(map[*conn]struct{}),
 		drainCh: make(chan struct{}),
@@ -130,9 +136,34 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Warm eagerly generates the first replica so a misconfigured generator
-// fails at startup rather than on the first query.
-func (s *Server) Warm() error { return s.pool.warm() }
+// snapshot returns the shared database snapshot, generating and freezing
+// it on first use. Priming the planner statistics here (once, on the
+// snapshot) saves every forked session the lazy ANALYZE scan session.New
+// would otherwise pay — without changing any reported number.
+func (s *Server) snapshot() (*derby.Snapshot, error) {
+	return s.snapFlight.Do(struct{}{}, func() (*derby.Snapshot, error) {
+		d, err := s.cfg.Generate()
+		if err != nil {
+			return nil, err
+		}
+		sn, err := d.Freeze()
+		if err != nil {
+			return nil, err
+		}
+		if err := sn.Engine.PrimeStats(); err != nil {
+			return nil, err
+		}
+		s.snap.Store(sn)
+		return sn, nil
+	})
+}
+
+// Warm eagerly generates the snapshot so a misconfigured generator fails
+// at startup rather than on the first query.
+func (s *Server) Warm() error {
+	_, err := s.snapshot()
+	return err
+}
 
 // ListenAndServe listens on addr and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
@@ -154,8 +185,8 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
-	s.logf("listening on %s (db %s, %d replicas, %d concurrent, queue %d)",
-		ln.Addr(), s.cfg.Label, s.cfg.Replicas, s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+	s.logf("listening on %s (db %s, %d sessions, %d concurrent, queue %d)",
+		ln.Addr(), s.cfg.Label, s.cfg.Sessions, s.cfg.MaxConcurrent, s.cfg.MaxQueue)
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -217,9 +248,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Stats snapshots the server's counters.
+// Stats snapshots the server's counters. Snapshot memory is reported once
+// the database has been generated (zero before).
 func (s *Server) Stats() *wire.Stats {
-	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Replicas), s.pool.busy.Load())
+	var pages, bytes int64
+	if sn := s.snap.Load(); sn != nil {
+		pages = int64(sn.Engine.Pages())
+		bytes = sn.Engine.Bytes()
+	}
+	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes)
 }
 
 // admit acquires an admission slot within the deadline. It returns a wire

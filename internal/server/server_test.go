@@ -26,7 +26,7 @@ func startServer(t *testing.T, mut func(*Config), hook func()) (*Server, string)
 	cfg := Config{
 		Generate: func() (*derby.Dataset, error) { return derby.Generate(testDBConfig()) },
 		Label:    "test db",
-		Replicas: 2,
+		Sessions: 2,
 		MaxQueue: 16,
 	}
 	if mut != nil {
@@ -63,7 +63,7 @@ const testStmt = "select pa.mrn, pa.age from pa in Patients where pa.mrn < 40"
 // deterministic on any replica — every rendered result must be identical.
 func TestConcurrentSessions(t *testing.T) {
 	srv, addr := startServer(t, func(c *Config) {
-		c.Replicas = 4
+		c.Sessions = 4
 		c.MaxQueue = 64
 	}, nil)
 	const sessions = 8
@@ -188,7 +188,7 @@ func TestWarmSessionPinsReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	if first.Counters.DiskReads == 0 {
-		t.Fatal("first warm query should start from a cold replica")
+		t.Fatal("first warm query should start from a cold-restarted session")
 	}
 	if second.Counters.DiskReads != 0 {
 		t.Fatalf("warm rerun read %d pages, want 0", second.Counters.DiskReads)
@@ -204,7 +204,7 @@ func TestAdmissionQueueRejects(t *testing.T) {
 	gate := make(chan struct{})
 	started := make(chan struct{}, 8)
 	srv, addr := startServer(t, func(c *Config) {
-		c.Replicas = 1
+		c.Sessions = 1
 		c.MaxConcurrent = 1
 		c.MaxQueue = 0
 	}, func() {
@@ -244,11 +244,11 @@ func TestAdmissionQueueRejects(t *testing.T) {
 }
 
 // TestQueryTimeout checks an over-budget query answers CodeTimeout, and the
-// replica and admission slot come back once the abandoned execution ends.
+// admission slot comes back once the abandoned execution ends.
 func TestQueryTimeout(t *testing.T) {
 	gate := make(chan struct{})
 	srv, addr := startServer(t, func(c *Config) {
-		c.Replicas = 1
+		c.Sessions = 1
 		c.QueryTimeout = 150 * time.Millisecond
 	}, func() {
 		<-gate
@@ -278,7 +278,7 @@ func TestQueryTimeout(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	gate := make(chan struct{})
 	started := make(chan struct{}, 8)
-	srv, addr := startServer(t, func(c *Config) { c.Replicas = 1 }, func() {
+	srv, addr := startServer(t, func(c *Config) { c.Sessions = 1 }, func() {
 		started <- struct{}{}
 		<-gate
 	})
@@ -371,18 +371,18 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("missing Generate accepted")
 	}
-	if _, err := New(Config{Generate: gen, Replicas: -1}); err == nil {
-		t.Fatal("negative replicas accepted")
+	if _, err := New(Config{Generate: gen, Sessions: -1}); err == nil {
+		t.Fatal("negative sessions accepted")
 	}
 	if _, err := New(Config{Generate: gen, MaxQueue: -1}); err == nil {
 		t.Fatal("negative queue accepted")
 	}
-	srv, err := New(Config{Generate: gen, Replicas: 2, MaxConcurrent: 99})
+	srv, err := New(Config{Generate: gen, Sessions: 2, MaxConcurrent: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if srv.cfg.MaxConcurrent != 2 {
-		t.Fatalf("MaxConcurrent not clamped to replicas: %d", srv.cfg.MaxConcurrent)
+		t.Fatalf("MaxConcurrent not clamped to sessions: %d", srv.cfg.MaxConcurrent)
 	}
 	if srv.cfg.QueryTimeout != 30*time.Second {
 		t.Fatalf("QueryTimeout not defaulted: %v", srv.cfg.QueryTimeout)

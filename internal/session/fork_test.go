@@ -1,0 +1,101 @@
+package session
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+// forkStatements is a warm sequence: each statement's numbers depend on
+// what the previous ones left in the session's caches, so any state shared
+// between sessions — pages, meters, handle tables — would show up as a
+// rendering difference.
+var forkStatements = []string{
+	"select pa.mrn, pa.age from pa in Patients where pa.mrn < 40",
+	"select count(*) from pa in Patients where pa.mrn < 40",
+	"select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100 and p.upin < 10",
+	"select sum(pa.mrn) from pa in Patients where pa.mrn < 60",
+}
+
+// runWarmSequence executes the warm statement sequence on a fresh session
+// forked from sn and returns the concatenated rendered results.
+func runWarmSequence(t *testing.T, sn *derby.Snapshot) string {
+	t.Helper()
+	s := New(sn.Fork().DB)
+	s.Cold = false
+	var out strings.Builder
+	for _, stmt := range forkStatements {
+		res, err := s.Execute(stmt)
+		if err != nil {
+			t.Errorf("%s: %v", stmt, err)
+			return ""
+		}
+		WriteResult(&out, ToWire(res, 10), 10)
+	}
+	return out.String()
+}
+
+// TestConcurrentForkedSessionsMatchSolo is the shared-snapshot correctness
+// gate (run it with -race): many sessions forked from one snapshot execute
+// interleaved warm query sequences concurrently, and every session's
+// rendered output must be byte-identical to a solo run on its own fork.
+func TestConcurrentForkedSessionsMatchSolo(t *testing.T) {
+	d, err := derby.Generate(derby.DefaultConfig(20, 20, derby.ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := runWarmSequence(t, sn)
+	if solo == "" {
+		t.Fatal("solo run produced no output")
+	}
+
+	const sessions = 8
+	outs := make([]string, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = runWarmSequence(t, sn)
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out != solo {
+			t.Fatalf("session %d diverged from the solo run:\n%s\nvs solo:\n%s", i, out, solo)
+		}
+	}
+}
+
+// BenchmarkSessionFork measures what a new server connection costs once
+// the snapshot exists: generation and freezing happen exactly once outside
+// the loop, each iteration forks a full session. The per-op numbers must
+// stay O(catalog) — independent of the data size — for the shared-snapshot
+// architecture to deliver its N-sessions-one-copy promise.
+func BenchmarkSessionFork(b *testing.B) {
+	d, err := derby.Generate(derby.DefaultConfig(200, 50, derby.ClassCluster))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sn, err := d.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sn.Engine.PrimeStats(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(sn.Fork().DB)
+		if s.DB == nil {
+			b.Fatal("fork lost the engine")
+		}
+	}
+}

@@ -8,6 +8,13 @@ import (
 // ErrNoPage is returned for reads of unallocated pages.
 var ErrNoPage = errors.New("storage: no such page")
 
+// ErrReadOnly is returned for writes and allocations on a read-only disk
+// (the frozen builder of a snapshot, or a read-only fork of one). It is the
+// storage-level backstop behind the engine's read-only session guard: the
+// guard stops mutations before any shared buffer is touched; this error
+// stops anything that slips through at the first Alloc or Write.
+var ErrReadOnly = errors.New("storage: read-only disk")
+
 // Pager is the page-access interface the record layer runs on. The raw Disk
 // implements it without any cost accounting; the cache package wraps a Disk
 // in the two-level client/server cache that charges I/O, RPCs and cache
@@ -24,12 +31,52 @@ type Pager interface {
 	Alloc() (PageID, []byte, error)
 }
 
+// Base is a frozen, immutable page image: the disk-resident half of a
+// database snapshot. Any number of Disks can be forked from one Base and
+// share its page buffers physically; Base itself has no mutating methods.
+type Base struct {
+	pages    [][]byte
+	capacity int // max pages; 0 means unbounded
+}
+
+// NumPages returns the number of frozen pages.
+func (b *Base) NumPages() int { return len(b.pages) }
+
+// Bytes returns the physical size of the frozen page image.
+func (b *Base) Bytes() int64 { return int64(len(b.pages)) * PageSize }
+
+// Fork returns a read-only disk over the base: reads alias the shared
+// frozen buffers with zero copying, writes and allocations fail with
+// ErrReadOnly.
+func (b *Base) Fork() *Disk {
+	return &Disk{base: b, capacity: b.capacity, readOnly: true}
+}
+
+// ForkMutable returns a writable copy-on-write disk over the base: a base
+// page is copied into the fork's private overlay on its first read, so the
+// within-session buffer-aliasing discipline (mutate the Read buffer, then
+// Write) holds for the fork without ever touching the shared image. Pages
+// the fork allocates are private too, with ids continuing past the base.
+func (b *Base) ForkMutable() *Disk {
+	return &Disk{base: b, capacity: b.capacity, overlay: make(map[PageID][]byte)}
+}
+
 // Disk is the simulated disk: a flat array of 4 KB pages kept in process
 // memory. It stands in for the paper's 2 GB SCSI drive; its capacity check
 // even reproduces §3.1's "Buy Big!" lesson if you ask it to.
+//
+// A Disk runs in one of three modes. An exclusive disk (base == nil) owns
+// all its pages — today's single-owner behavior. Freeze turns an exclusive
+// disk into a shared Base, from which Base.Fork gives read-only disks
+// (shared buffers, no writes) and Base.ForkMutable gives copy-on-write
+// disks (private overlay + private allocations).
 type Disk struct {
-	pages    [][]byte
-	capacity int // max pages; 0 means unbounded
+	pages    [][]byte // exclusive: all pages; fork: pages allocated after the base
+	capacity int      // max pages; 0 means unbounded
+
+	base     *Base             // shared frozen image; nil for an exclusive disk
+	overlay  map[PageID][]byte // COW copies of base pages; nil unless mutable fork
+	readOnly bool
 }
 
 // NewDisk returns an empty disk. capacityBytes of 0 means unbounded;
@@ -42,32 +89,81 @@ func NewDisk(capacityBytes int64) *Disk {
 	return d
 }
 
-// NumPages returns the number of allocated pages.
-func (d *Disk) NumPages() int { return len(d.pages) }
-
-// Read implements Pager.
-func (d *Disk) Read(id PageID) ([]byte, error) {
-	if int(id) >= len(d.pages) {
-		return nil, fmt.Errorf("%w: %d", ErrNoPage, id)
+// baseLen returns the number of pages owned by the shared base.
+func (d *Disk) baseLen() int {
+	if d.base == nil {
+		return 0
 	}
-	return d.pages[id], nil
+	return len(d.base.pages)
+}
+
+// NumPages returns the number of allocated pages, shared and private.
+func (d *Disk) NumPages() int { return d.baseLen() + len(d.pages) }
+
+// PrivatePages returns the number of pages this disk owns itself: all of
+// them for an exclusive disk, the COW overlay plus post-fork allocations
+// for a fork. It is what a fork physically costs beyond the shared base.
+func (d *Disk) PrivatePages() int { return len(d.overlay) + len(d.pages) }
+
+// Freeze seals an exclusive disk into an immutable Base and leaves the disk
+// itself a read-only fork of it, so the builder keeps working for queries
+// but can never mutate the now-shared buffers. Forked disks cannot freeze.
+func (d *Disk) Freeze() (*Base, error) {
+	if d.base != nil {
+		return nil, fmt.Errorf("storage: cannot freeze a forked disk")
+	}
+	b := &Base{pages: d.pages[:len(d.pages):len(d.pages)], capacity: d.capacity}
+	d.pages = nil
+	d.base = b
+	d.readOnly = true
+	return b, nil
+}
+
+// Read implements Pager. On a mutable fork, the first read of a base page
+// copies it into the private overlay so later in-place mutation cannot
+// reach the shared image; the copy happens on read, not write, because
+// callers mutate the returned buffer before calling Write.
+func (d *Disk) Read(id PageID) ([]byte, error) {
+	if bl := d.baseLen(); int(id) < bl {
+		if d.readOnly {
+			return d.base.pages[id], nil
+		}
+		if buf, ok := d.overlay[id]; ok {
+			return buf, nil
+		}
+		buf := make([]byte, PageSize)
+		copy(buf, d.base.pages[id])
+		d.overlay[id] = buf
+		return buf, nil
+	} else if idx := int(id) - bl; idx < len(d.pages) {
+		return d.pages[idx], nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrNoPage, id)
 }
 
 // Write implements Pager. On the raw disk the buffer is the storage, so
 // this is a no-op beyond validation.
 func (d *Disk) Write(id PageID) error {
-	if int(id) >= len(d.pages) {
+	if d.readOnly {
+		return fmt.Errorf("%w: write of page %d", ErrReadOnly, id)
+	}
+	if int(id) >= d.NumPages() {
 		return fmt.Errorf("%w: %d", ErrNoPage, id)
 	}
 	return nil
 }
 
-// Alloc implements Pager.
+// Alloc implements Pager. A fork's allocations are private; their ids
+// continue past the shared base, so record ids minted by different forks of
+// the same base coincide — exactly as if each fork were a private copy.
 func (d *Disk) Alloc() (PageID, []byte, error) {
-	if d.capacity > 0 && len(d.pages) >= d.capacity {
+	if d.readOnly {
+		return 0, nil, fmt.Errorf("%w: alloc", ErrReadOnly)
+	}
+	if d.capacity > 0 && d.NumPages() >= d.capacity {
 		return 0, nil, fmt.Errorf("storage: disk full (%d pages): buy big, think sum not max", d.capacity)
 	}
 	buf := make([]byte, PageSize)
 	d.pages = append(d.pages, buf)
-	return PageID(len(d.pages) - 1), buf, nil
+	return PageID(d.NumPages() - 1), buf, nil
 }

@@ -31,6 +31,18 @@ type File struct {
 // NumPages returns the number of pages in the file.
 func (f *File) NumPages() int { return len(f.Pages) }
 
+// Clone returns an independent copy of the file's metadata for a forked
+// session. The page-id slice is capacity-clipped, so a fork's first Append
+// reallocates instead of scribbling over the shared template's backing
+// array — the clone is O(1) in the file's data size.
+func (f *File) Clone() *File {
+	return &File{
+		Name:       f.Name,
+		Pages:      f.Pages[:len(f.Pages):len(f.Pages)],
+		appendPage: f.appendPage,
+	}
+}
+
 // Append stores rec at the end of the file and returns its Rid. Pages are
 // closed once their free space drops under the per-page reserve.
 func (f *File) Append(p Pager, rec []byte) (Rid, error) {
@@ -315,4 +327,27 @@ func (s *Store) Files() []string {
 	out := make([]string, len(s.order))
 	copy(out, s.order)
 	return out
+}
+
+// Freeze seals the store's disk into a shared immutable Base (see
+// Disk.Freeze). The store itself stays usable read-only; Fork builds
+// per-session stores over the returned base.
+func (s *Store) Freeze() (*Base, error) {
+	return s.Disk.Freeze()
+}
+
+// Fork returns a per-session copy of the catalog over disk d (a fork of
+// the base this store was frozen into): every file's metadata is cloned,
+// the page data stays shared through d. The cost is proportional to the
+// number of files, not the data.
+func (s *Store) Fork(d *Disk) *Store {
+	ns := &Store{
+		Disk:  d,
+		files: make(map[string]*File, len(s.files)),
+		order: append([]string(nil), s.order...),
+	}
+	for name, f := range s.files {
+		ns.files[name] = f.Clone()
+	}
+	return ns
 }

@@ -194,8 +194,10 @@ type Stats struct {
 	TimedOut       int64 // queries cut off by the per-query budget
 	ActiveSessions int64 // connected sessions right now
 	QueueDepth     int64 // queries waiting for an admission slot right now
-	Replicas       int64 // engine replicas in the pool
-	BusyReplicas   int64 // replicas checked out right now
+	Sessions       int64 // concurrently executing sessions the server is sized for
+	BusySessions   int64 // queries executing right now
+	SnapshotPages  int64 // pages in the shared database snapshot (0 until generated)
+	SnapshotBytes  int64 // bytes of the shared database snapshot (0 until generated)
 
 	// Wall-clock latency percentiles, in microseconds.
 	WallP50us, WallP95us, WallP99us int64
@@ -211,9 +213,10 @@ func (m *Stats) Encode() []byte {
 	var e enc
 	for _, v := range []int64{
 		m.Served, m.QueryErrors, m.Rejected, m.TimedOut,
-		m.ActiveSessions, m.QueueDepth, m.Replicas, m.BusyReplicas,
+		m.ActiveSessions, m.QueueDepth, m.Sessions, m.BusySessions,
 		m.WallP50us, m.WallP95us, m.WallP99us,
 		m.SimP50ms, m.SimP95ms, m.SimP99ms,
+		m.SnapshotPages, m.SnapshotBytes,
 	} {
 		e.i64(v)
 	}
@@ -228,9 +231,10 @@ func DecodeStats(b []byte) (*Stats, error) {
 	m := &Stats{}
 	for _, p := range []*int64{
 		&m.Served, &m.QueryErrors, &m.Rejected, &m.TimedOut,
-		&m.ActiveSessions, &m.QueueDepth, &m.Replicas, &m.BusyReplicas,
+		&m.ActiveSessions, &m.QueueDepth, &m.Sessions, &m.BusySessions,
 		&m.WallP50us, &m.WallP95us, &m.WallP99us,
 		&m.SimP50ms, &m.SimP95ms, &m.SimP99ms,
+		&m.SnapshotPages, &m.SnapshotBytes,
 	} {
 		*p = d.i64()
 	}

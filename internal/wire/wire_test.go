@@ -112,7 +112,8 @@ func TestMessageRoundTrips(t *testing.T) {
 
 	st := &Stats{
 		Served: 100, QueryErrors: 3, Rejected: 7, TimedOut: 1,
-		ActiveSessions: 8, QueueDepth: 2, Replicas: 8, BusyReplicas: 5,
+		ActiveSessions: 8, QueueDepth: 2, Sessions: 8, BusySessions: 5,
+		SnapshotPages: 4096, SnapshotBytes: 16 << 20,
 		WallP50us: 1200, WallP95us: 9000, WallP99us: 20000,
 		SimP50ms: 3100, SimP95ms: 3300, SimP99ms: 3400,
 		WallHist: "[1,10):5 [10,20):5", SimHist: "[3100,3400):10",

@@ -54,8 +54,22 @@ import (
 
 // Engine types.
 type (
-	// Database is one database plus one session over it.
+	// Session is one execution context — caches, meter, handle table,
+	// transaction state — over a database. Freeze a built Session into a
+	// Snapshot, then fork cheap private Sessions from it for concurrent,
+	// byte-identical query runs.
+	Session = engine.Session
+	// Database is the Session type's historical name.
 	Database = engine.Database
+	// Snapshot is the immutable, shareable half of a frozen database: the
+	// page image plus the catalog. Snapshot.Fork returns a read-only
+	// Session in O(catalog); Snapshot.ForkMutable adds a private
+	// copy-on-write overlay for updates.
+	Snapshot = engine.Snapshot
+	// DerbySnapshot is a frozen Derby database: Dataset.Freeze produces
+	// one, and its Fork/ForkMutable return per-session Datasets that share
+	// one generation and one page image.
+	DerbySnapshot = derby.Snapshot
 	// Extent is a named collection of all objects of one class.
 	Extent = engine.Extent
 	// Index is a B+-tree index over an integer attribute of an extent.
@@ -196,6 +210,12 @@ func DerbyConfig(providers, avgPatients int, clustering Clustering) GenConfig {
 
 // GenerateDerby builds a Derby database deterministically.
 func GenerateDerby(cfg GenConfig) (*Dataset, error) { return derby.Generate(cfg) }
+
+// FreezeDerby seals a generated Derby database into an immutable shared
+// snapshot: generate once, freeze, then Fork a private Dataset per
+// concurrent session — N sessions cost one generation and one page image.
+// The dataset's own session stays usable read-only.
+func FreezeDerby(d *Dataset) (*DerbySnapshot, error) { return d.Freeze() }
 
 // Query processing.
 type (
