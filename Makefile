@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-fork experiments experiments-full plots cover fuzz smoke clean
+.PHONY: all build test race bench bench-fork bench-snap experiments experiments-full plots cover fuzz smoke snap-smoke clean
 
 all: build test
 
@@ -26,6 +26,12 @@ bench:
 bench-fork:
 	$(GO) test -run 'TestNothing^' -bench BenchmarkSessionFork -benchmem ./internal/session
 
+# Warm boot vs cold boot: loading the paper-scale 2000×1000 Derby snapshot
+# from disk against generating it from scratch (EXPERIMENTS.md records the
+# speedup).
+bench-snap:
+	$(GO) test -run 'TestNothing^' -bench 'BenchmarkSnapshot(Generate|Load)' -benchmem ./internal/persist
+
 # The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
 experiments:
 	$(GO) run ./cmd/treebench -all
@@ -45,10 +51,16 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/oql
 	$(GO) test -fuzz FuzzPageOps -fuzztime 30s ./internal/storage
 	$(GO) test -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire
+	$(GO) test -fuzz FuzzLoadSnapshot -fuzztime 30s ./internal/persist
 
 # End-to-end query-server smoke: treebenchd + oqlload vs oqlsh.
 smoke:
 	./scripts/server_smoke.sh
+
+# Snapshot-store smoke: save/verify/corrupt/reload plus a two-boot
+# treebenchd warm start from one snapshot directory.
+snap-smoke:
+	./scripts/snap_smoke.sh
 
 clean:
 	rm -rf plots results.csv test_output.txt bench_output.txt

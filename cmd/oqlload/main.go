@@ -154,6 +154,9 @@ func main() {
 				st.Served, st.QueryErrors, st.Rejected, st.TimedOut,
 				st.ActiveSessions, st.QueueDepth, st.BusySessions, st.Sessions,
 				st.SnapshotPages, float64(st.SnapshotBytes)/(1<<20))
+			if st.SnapshotSource != "" {
+				fmt.Printf("server snapshot source: %s\n", st.SnapshotSource)
+			}
 			fmt.Printf("server wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
 				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",

@@ -1,0 +1,258 @@
+// Command treebench-snap manages persisted Derby snapshots: the versioned
+// on-disk files (DESIGN.md, "On-disk snapshot format") behind the
+// content-addressed cache that treebenchd and the experiment scheduler
+// warm-boot from.
+//
+// Usage:
+//
+//	treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-o FILE]
+//	treebench-snap load   FILE
+//	treebench-snap verify FILE...
+//	treebench-snap ls     [-dir DIR]
+//	treebench-snap rm     [-dir DIR] [-all] [KEY|FILE ...]
+//
+// save generates the configured database and writes it — to -o, or into
+// the cache directory under its content address. load rebuilds a snapshot
+// from a file and proves it serves queries (a dry run of treebenchd's
+// warm boot). verify checks every section checksum without loading. ls
+// lists the cache; rm removes entries by key prefix or path.
+//
+// The cache directory is -dir, else $TREEBENCH_SNAPSHOT_DIR, else the
+// user cache directory (persist.DefaultDir).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"treebench/internal/derby"
+	"treebench/internal/persist"
+	"treebench/internal/session"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "save":
+		err = cmdSave(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "rm":
+		err = cmdRm(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "treebench-snap: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treebench-snap:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-o FILE]
+  treebench-snap load   FILE
+  treebench-snap verify FILE...
+  treebench-snap ls     [-dir DIR]
+  treebench-snap rm     [-dir DIR] [-all] [KEY|FILE ...]`)
+}
+
+func dirFlag(fs *flag.FlagSet) *string {
+	return fs.String("dir", "", "snapshot cache directory (default $TREEBENCH_SNAPSHOT_DIR or the user cache dir)")
+}
+
+func resolveDir(dir string) (string, error) {
+	if dir != "" {
+		return dir, nil
+	}
+	return persist.DefaultDir()
+}
+
+func cmdSave(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	providers := fs.Int("providers", 200, "number of providers")
+	avg := fs.Int("avg", 50, "average patients per provider")
+	clustering := fs.String("clustering", "class", "class, random, composition")
+	seed := fs.Int("seed", 1997, "data generator seed")
+	out := fs.String("o", "", "output file (default: cache dir under the content address)")
+	dir := dirFlag(fs)
+	fs.Parse(args)
+
+	cl, err := parseClustering(*clustering)
+	if err != nil {
+		return err
+	}
+	cfg := derby.DefaultConfig(*providers, *avg, cl)
+	cfg.Seed = int32(*seed)
+
+	path := *out
+	if path == "" {
+		d, err := resolveDir(*dir)
+		if err != nil {
+			return err
+		}
+		path = filepath.Join(d, persist.KeyFor(cfg)+".tbsp")
+	}
+	fmt.Printf("generating %d×%d %s database...\n", *providers, (*providers)*(*avg), cl)
+	ds, err := derby.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	snap, err := ds.Freeze()
+	if err != nil {
+		return err
+	}
+	if err := persist.Save(path, snap); err != nil {
+		return err
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("saved %s (%d pages, %d bytes)\n", path, snap.Engine.Pages(), fi.Size())
+	return nil
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("load wants exactly one FILE")
+	}
+	path := fs.Arg(0)
+	snap, err := persist.Load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d pages (%.1f MiB)\n", path, snap.Engine.Pages(),
+		float64(snap.Engine.Bytes())/(1<<20))
+	// Prove the catalog is live: fork a session and run one query — the
+	// same dry run treebenchd's warm boot amounts to.
+	s := session.New(snap.Fork().DB)
+	res, err := s.Execute("select count(*) from pa in Patients")
+	if err != nil {
+		return fmt.Errorf("probe query: %w", err)
+	}
+	session.WriteResult(os.Stdout, session.ToWire(res, 1), 1)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("verify wants at least one FILE")
+	}
+	for _, path := range fs.Args() {
+		m, err := persist.Verify(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: ok (v%d, %d pages, %d×%d %s)\n",
+			path, m.Version, m.Pages, m.Providers, m.Patients, m.Clustering)
+		for _, s := range m.Sections {
+			fmt.Printf("  %-11s %12d bytes  crc %08x\n", s.Name, s.Length, s.CRC)
+		}
+	}
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	dir := dirFlag(fs)
+	fs.Parse(args)
+	d, err := resolveDir(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := filepath.Glob(filepath.Join(d, "*.tbsp"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(entries)
+	if len(entries) == 0 {
+		fmt.Printf("%s: no snapshots\n", d)
+		return nil
+	}
+	for _, path := range entries {
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		m, err := persist.Inspect(path)
+		if err != nil {
+			fmt.Printf("%-16s  %10d  (unreadable: %v)\n", filepath.Base(path), fi.Size(), err)
+			continue
+		}
+		key := strings.TrimSuffix(filepath.Base(path), ".tbsp")
+		fmt.Printf("%-16s  %10d bytes  v%d  %d pages  %d×%d %s\n",
+			key[:min(16, len(key))], fi.Size(), m.Version, m.Pages, m.Providers, m.Patients, m.Clustering)
+	}
+	return nil
+}
+
+func cmdRm(args []string) error {
+	fs := flag.NewFlagSet("rm", flag.ExitOnError)
+	dir := dirFlag(fs)
+	all := fs.Bool("all", false, "remove every snapshot in the cache directory")
+	fs.Parse(args)
+	d, err := resolveDir(*dir)
+	if err != nil {
+		return err
+	}
+	var victims []string
+	if *all {
+		victims, err = filepath.Glob(filepath.Join(d, "*.tbsp"))
+		if err != nil {
+			return err
+		}
+	} else if fs.NArg() == 0 {
+		return fmt.Errorf("rm wants KEY or FILE arguments (or -all)")
+	}
+	for _, arg := range fs.Args() {
+		if strings.ContainsRune(arg, os.PathSeparator) || strings.HasSuffix(arg, ".tbsp") {
+			victims = append(victims, arg)
+			continue
+		}
+		// A key prefix: match cache entries.
+		matches, _ := filepath.Glob(filepath.Join(d, arg+"*.tbsp"))
+		if len(matches) == 0 {
+			return fmt.Errorf("no snapshot matches %q in %s", arg, d)
+		}
+		victims = append(victims, matches...)
+	}
+	for _, path := range victims {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		fmt.Printf("removed %s\n", path)
+	}
+	return nil
+}
+
+func parseClustering(s string) (derby.Clustering, error) {
+	switch s {
+	case "class":
+		return derby.ClassCluster, nil
+	case "random":
+		return derby.RandomOrg, nil
+	case "composition":
+		return derby.CompositionCluster, nil
+	default:
+		return 0, fmt.Errorf("unknown clustering %q", s)
+	}
+}

@@ -7,15 +7,23 @@
 //
 //	treebenchd [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
 //	           [-clustering class] [-seed 1997] [-sessions N]
-//	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s] [-v]
+//	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s]
+//	           [-snapshot-dir DIR] [-save-snapshot] [-v]
 //
-// The daemon generates the configured database once, freezes it into an
+// The daemon obtains the configured database once — loading it from the
+// snapshot cache when -snapshot-dir (or TREEBENCH_SNAPSHOT_DIR) has a
+// matching entry, generating and caching it otherwise — freezes it into an
 // immutable shared snapshot, and forks a private per-connection session
 // (caches, meter, handles) from it in O(1) — so N sessions execute truly
 // concurrently over one copy of the data; admission control bounds
 // executing queries and rejects past the bounded queue. SIGINT/SIGTERM
 // drain gracefully: in-flight queries finish and flush before the process
 // exits.
+//
+// A warm boot from the cache performs zero dataset generation: the second
+// start of the same configuration is O(catalog), with data pages streamed
+// from the snapshot file on first touch. The Stats response reports the
+// snapshot's provenance.
 //
 // Query it with cmd/oqlload, or any internal/client user. Cold queries
 // (the default) return byte-identical output to the same statement in
@@ -33,6 +41,7 @@ import (
 
 	"treebench/internal/core"
 	"treebench/internal/derby"
+	"treebench/internal/persist"
 	"treebench/internal/server"
 )
 
@@ -49,8 +58,27 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 64, "queries allowed to wait for admission before rejection")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget (queue wait + execution)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
+		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory for instant warm boots (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
+		saveSnap   = flag.Bool("save-snapshot", false, "cache the generated snapshot even without -snapshot-dir (uses the default cache directory)")
 		verbose    = flag.Bool("v", false, "log sessions and lifecycle to stderr")
 	)
+	// flag.PrintDefaults orders flags lexically, which would list the
+	// deprecated -replicas alias ahead of -sessions; print -sessions
+	// first and push the alias to the bottom, marked deprecated.
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "Usage of %s:\n", os.Args[0])
+		last := flag.Lookup("replicas")
+		flag.VisitAll(func(f *flag.Flag) {
+			if f.Name == "replicas" {
+				return
+			}
+			printFlag(w, f)
+		})
+		if last != nil {
+			printFlag(w, last)
+		}
+	}
 	flag.Parse()
 
 	cl, err := parseClustering(*clustering)
@@ -72,7 +100,7 @@ func main() {
 		n = core.JobsFromEnv(core.DefaultJobs())
 	}
 	scfg := server.Config{
-		Generate:      func() (*derby.Dataset, error) { return derby.Generate(cfg) },
+		Source:        snapshotSource(cfg, *snapDir, *saveSnap),
 		Label:         label,
 		Sessions:      n,
 		MaxConcurrent: *maxConc,
@@ -88,7 +116,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("treebenchd: generating %s snapshot (%d sessions fork from it)...\n", label, n)
+	fmt.Printf("treebenchd: preparing %s snapshot (%d sessions fork from it)...\n", label, n)
 	if err := srv.Warm(); err != nil {
 		fatal(err)
 	}
@@ -115,6 +143,51 @@ func main() {
 		}
 		fmt.Println("treebenchd: drained, bye")
 	}
+}
+
+// snapshotSource builds the server's snapshot source: straight generation
+// when caching is off, the content-addressed cache otherwise. With a
+// warm cache the daemon boots without generating anything; the returned
+// provenance string surfaces in Stats.
+func snapshotSource(cfg derby.Config, dir string, save bool) func() (*derby.Snapshot, string, error) {
+	if dir == "" && !save {
+		return func() (*derby.Snapshot, string, error) {
+			d, err := derby.Generate(cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			sn, err := d.Freeze()
+			if err != nil {
+				return nil, "", err
+			}
+			return sn, "generated", nil
+		}
+	}
+	return func() (*derby.Snapshot, string, error) {
+		cache, err := persist.Open(dir) // "" selects the default directory
+		if err != nil {
+			return nil, "", err
+		}
+		sn, out, err := cache.GetOrGenerate(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return sn, fmt.Sprintf("%s (%s)", out.Source, out.Path), nil
+	}
+}
+
+// printFlag renders one flag the way flag.PrintDefaults does.
+func printFlag(w interface{ Write([]byte) (int, error) }, f *flag.Flag) {
+	name, usage := flag.UnquoteUsage(f)
+	line := "  -" + f.Name
+	if name != "" {
+		line += " " + name
+	}
+	line += "\n    \t" + usage
+	if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+		line += fmt.Sprintf(" (default %v)", f.DefValue)
+	}
+	fmt.Fprintln(w, line)
 }
 
 func parseClustering(s string) (derby.Clustering, error) {

@@ -15,6 +15,7 @@ import (
 
 	"treebench/internal/derby"
 	"treebench/internal/join"
+	"treebench/internal/persist"
 	"treebench/internal/sim"
 	"treebench/internal/stats"
 )
@@ -35,6 +36,13 @@ type Config struct {
 	// Zero means DefaultJobs(); elapsed time is simulated per dataset, so
 	// results are bit-identical at any setting.
 	Jobs int
+	// SnapshotDir, when non-empty, backs dataset generation with the
+	// content-addressed snapshot cache at that directory: each distinct
+	// parameter set is generated at most once ever, then loaded. Results
+	// are bit-identical either way (snapshots are cached unprimed,
+	// straight after Freeze). Empty disables on-disk caching; generation
+	// is still singleflighted in-process.
+	SnapshotDir string
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
 }
@@ -49,6 +57,11 @@ const ScaleEnvVar = "TREEBENCH_SF"
 // JobsEnvVar overrides the scheduler's worker count (TREEBENCH_JOBS=1
 // forces sequential execution).
 const JobsEnvVar = "TREEBENCH_JOBS"
+
+// SnapshotDirEnvVar enables the on-disk snapshot cache
+// (TREEBENCH_SNAPSHOT_DIR=~/.cache/treebench). persist.DefaultDir reads
+// the same variable, so every tool agrees on the directory.
+const SnapshotDirEnvVar = "TREEBENCH_SNAPSHOT_DIR"
 
 // DefaultJobs is the default scheduler width: one worker per CPU, capped
 // at 8 (diminishing returns: experiments share one generation per database
@@ -77,7 +90,12 @@ func JobsFromEnv(def int) int {
 // JobsEnvVar. Values below 1 (or non-numeric) are rejected and the default
 // kept.
 func ConfigFromEnv() Config {
-	cfg := Config{SF: DefaultSF, Seed: 1997, Jobs: JobsFromEnv(DefaultJobs())}
+	cfg := Config{
+		SF:          DefaultSF,
+		Seed:        1997,
+		Jobs:        JobsFromEnv(DefaultJobs()),
+		SnapshotDir: os.Getenv(SnapshotDirEnvVar),
+	}
 	if v := os.Getenv(ScaleEnvVar); v != "" {
 		if sf, err := strconv.Atoi(v); err == nil && sf >= 1 {
 			cfg.SF = sf
@@ -199,6 +217,12 @@ type runnerState struct {
 
 	snapshots Flight[dsKey, *derby.Snapshot]
 	joinRuns  Flight[joinKey, *join.Result]
+
+	// cache is the on-disk snapshot store, opened once on first use when
+	// Config.SnapshotDir is set (nil otherwise).
+	cacheOnce sync.Once
+	cache     *persist.Cache
+	cacheErr  error
 }
 
 // Runner executes experiments, caching generated databases and join runs.
@@ -281,19 +305,46 @@ func dbLabel(providers, avg int) string {
 // on a session forked from it.
 func (r *Runner) snapshot(key dsKey) (*derby.Snapshot, error) {
 	return r.shared.snapshots.Do(key, func() (*derby.Snapshot, error) {
-		r.logf("generating %s database, %s clustering ...", dbLabel(key.providers, key.avg), key.cl)
 		cfg := derby.DefaultConfig(key.providers, key.avg, key.cl)
 		cfg.Seed = r.Config.Seed
 		cfg.Machine = MachineForSF(r.Config.SF)
 		// The 1:3 databases never use the num index; skipping it matches the
 		// paper's patient size there and halves generation time.
 		cfg.SkipNumIndex = key.avg < 100
+		if cache := r.snapshotCache(); cache != nil {
+			sn, out, err := cache.GetOrGenerate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			r.logf("%s database, %s clustering: %s (%s)",
+				dbLabel(key.providers, key.avg), key.cl, out.Source, out.Path)
+			return sn, nil
+		}
+		r.logf("generating %s database, %s clustering ...", dbLabel(key.providers, key.avg), key.cl)
 		d, err := derby.Generate(cfg)
 		if err != nil {
 			return nil, err
 		}
 		return d.Freeze()
 	})
+}
+
+// snapshotCache lazily opens the on-disk cache named by
+// Config.SnapshotDir. An open failure disables caching for the run (with
+// one log line) rather than failing every experiment: the cache is an
+// accelerator, not a correctness dependency.
+func (r *Runner) snapshotCache() *persist.Cache {
+	if r.Config.SnapshotDir == "" {
+		return nil
+	}
+	s := r.shared
+	s.cacheOnce.Do(func() {
+		s.cache, s.cacheErr = persist.Open(r.Config.SnapshotDir)
+		if s.cacheErr != nil {
+			r.logf("snapshot cache disabled: %v", s.cacheErr)
+		}
+	})
+	return s.cache
 }
 
 // dataset returns a fresh read-only session over the (singleflight-

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSnapshotDirRoundTripDeterminism is the scheduler half of the
+// persistence invariant: an experiment run against a loaded snapshot must
+// render exactly the table a freshly generated run renders. The first
+// cached run populates the directory; the second boots entirely from it
+// (its runner performs zero dataset generations); all three tables must
+// be identical.
+func TestSnapshotDirRoundTripDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a database three times")
+	}
+	const exp = "F6" // one-database experiment: cheap and index-heavy
+
+	run := func(dir string) (string, *Runner) {
+		r, err := NewRunner(Config{SF: 40, Seed: 1997, SnapshotDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := r.Run(exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String(), r
+	}
+
+	plain, _ := run("")
+	dir := t.TempDir()
+	first, r1 := run(dir)
+	second, r2 := run(dir)
+
+	if first != plain {
+		t.Errorf("cached run renders differently from uncached:\n--- uncached\n%s--- cached\n%s", plain, first)
+	}
+	if second != plain {
+		t.Errorf("warm-cache run renders differently:\n--- uncached\n%s--- warm\n%s", plain, second)
+	}
+	if c := r1.snapshotCache(); c == nil || c.Generations() != 1 {
+		t.Errorf("first cached run: cache generations = %v, want 1", c.Generations())
+	}
+	if c := r2.snapshotCache(); c == nil || c.Generations() != 0 {
+		t.Errorf("warm run: cache generations = %v, want 0 (booted from disk)", c.Generations())
+	}
+}

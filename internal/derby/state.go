@@ -1,0 +1,78 @@
+package derby
+
+import (
+	"fmt"
+
+	"treebench/internal/engine"
+	"treebench/internal/storage"
+)
+
+// SnapshotState is the serializable form of a derby.Snapshot's generation
+// bookkeeping, together with the wrapped engine catalog. The page image
+// travels separately (it is the bulk of the file and is streamed).
+type SnapshotState struct {
+	Engine *engine.SnapshotState
+
+	NumProviders int
+	NumPatients  int
+	Clustering   Clustering
+	ProviderRids []storage.Rid
+	PatientRids  []storage.Rid
+	Load         LoadReport
+}
+
+// State exports the snapshot for persistence.
+func (s *Snapshot) State() *SnapshotState {
+	return &SnapshotState{
+		Engine:       s.Engine.State(),
+		NumProviders: s.numProviders,
+		NumPatients:  s.numPatients,
+		Clustering:   s.clustering,
+		ProviderRids: s.providerRids,
+		PatientRids:  s.patientRids,
+		Load:         s.load,
+	}
+}
+
+// RestoreSnapshot rebuilds a derby.Snapshot over a restored page image.
+// Like the engine restore it validates rather than trusts: rid maps that
+// point beyond the image or a clustering outside the known enum fail with
+// an error, never a panic.
+func RestoreSnapshot(base *storage.Base, st *SnapshotState) (*Snapshot, error) {
+	if st.Engine == nil {
+		return nil, fmt.Errorf("derby: snapshot state has no engine catalog")
+	}
+	switch st.Clustering {
+	case ClassCluster, CompositionCluster, RandomOrg:
+	default:
+		return nil, fmt.Errorf("derby: unknown clustering %d in snapshot state", st.Clustering)
+	}
+	if st.NumProviders < 0 || st.NumPatients < 0 {
+		return nil, fmt.Errorf("derby: negative scale (%d providers, %d patients) in snapshot state",
+			st.NumProviders, st.NumPatients)
+	}
+	es, err := engine.RestoreSnapshot(base, st.Engine)
+	if err != nil {
+		return nil, err
+	}
+	numPages := base.NumPages()
+	for _, rid := range st.ProviderRids {
+		if int(rid.Page) >= numPages {
+			return nil, fmt.Errorf("derby: provider rid %v beyond image (%d pages)", rid, numPages)
+		}
+	}
+	for _, rid := range st.PatientRids {
+		if int(rid.Page) >= numPages {
+			return nil, fmt.Errorf("derby: patient rid %v beyond image (%d pages)", rid, numPages)
+		}
+	}
+	return &Snapshot{
+		Engine:       es,
+		numProviders: st.NumProviders,
+		numPatients:  st.NumPatients,
+		clustering:   st.Clustering,
+		providerRids: st.ProviderRids,
+		patientRids:  st.PatientRids,
+		load:         st.Load,
+	}, nil
+}

@@ -1,0 +1,46 @@
+package histogram
+
+import "fmt"
+
+// BucketState is the serializable form of one equi-depth bucket.
+type BucketState struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// State exports the histogram's buckets for persistence. A nil histogram
+// exports nil.
+func (h *Histogram) State() []BucketState {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketState, len(h.buckets))
+	for i, b := range h.buckets {
+		out[i] = BucketState{Lo: b.lo, Hi: b.hi, Count: b.count}
+	}
+	return out
+}
+
+// Restore rebuilds a histogram from exported buckets (nil in, nil out).
+// The state is validated — inverted or negative buckets fail with an
+// error — so a corrupt snapshot cannot smuggle in NaN selectivities.
+func Restore(buckets []BucketState) (*Histogram, error) {
+	if len(buckets) == 0 {
+		return nil, nil
+	}
+	h := &Histogram{buckets: make([]bucket, len(buckets))}
+	for i, b := range buckets {
+		if b.Hi <= b.Lo {
+			return nil, fmt.Errorf("histogram: bucket %d inverted [%d,%d)", i, b.Lo, b.Hi)
+		}
+		if b.Count < 0 {
+			return nil, fmt.Errorf("histogram: bucket %d has negative count %d", i, b.Count)
+		}
+		if i > 0 && b.Lo < buckets[i-1].Hi {
+			return nil, fmt.Errorf("histogram: bucket %d overlaps its predecessor", i)
+		}
+		h.buckets[i] = bucket{lo: b.Lo, hi: b.Hi, count: b.Count}
+		h.total += b.Count
+	}
+	return h, nil
+}

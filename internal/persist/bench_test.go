@@ -1,0 +1,80 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+// The benchmark pair below answers the question the snapshot store
+// exists for: what does a warm boot of the paper's 2000×1000 Derby
+// database cost against generating it from scratch? Run both via
+// `make bench-snap`; EXPERIMENTS.md records the observed ratio.
+
+func benchConfig() derby.Config {
+	return derby.DefaultConfig(2000, 1000, derby.ClassCluster)
+}
+
+func BenchmarkSnapshotGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := derby.Generate(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Freeze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	dir, err := os.MkdirTemp("", "tbsp-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "derby.tbsp")
+	d, err := derby.Generate(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := Save(path, snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotSave sizes the one-time cost of writing the cache
+// entry the loads above amortize.
+func BenchmarkSnapshotSave(b *testing.B) {
+	d, err := derby.Generate(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "tbsp-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Save(filepath.Join(dir, "derby.tbsp"), snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

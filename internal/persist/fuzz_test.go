@@ -1,0 +1,45 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadSnapshot drives the header and section-table decoder (and the
+// section codecs behind it) with arbitrary bytes. The contract under
+// fuzzing is total: Load either returns a snapshot or a typed error —
+// it must never panic, whatever the file holds. Seeded with a valid save
+// so the fuzzer starts past the magic check.
+func FuzzLoadSnapshot(f *testing.F) {
+	path, _ := savedSnapshot(f)
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:headerLen])
+	f.Add([]byte{})
+	// A header claiming eight sections with a truncated table.
+	f.Add(valid[:headerLen+tableEntryLen/2])
+	// One flipped byte mid-file.
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x01
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.tbsp")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		snap, err := Load(p)
+		if err != nil {
+			return
+		}
+		// An accepted file must behave: forking a session exercises the
+		// restored catalog.
+		if snap.Engine.Pages() < 0 {
+			t.Fatal("negative page count")
+		}
+	})
+}

@@ -1,0 +1,428 @@
+package persist
+
+import (
+	"fmt"
+	"time"
+
+	"treebench/internal/derby"
+	"treebench/internal/engine"
+	"treebench/internal/histogram"
+	"treebench/internal/index"
+	"treebench/internal/object"
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+	"treebench/internal/txn"
+)
+
+// timeDuration keeps the field-list helpers readable.
+type timeDuration = time.Duration
+
+// Section payload codecs. Each encodeX must round-trip exactly through
+// its decodeX: the Cache's soundness rests on Save being deterministic
+// and Load(Save(snap)) reproducing snap bit-for-bit. The catalog is split
+// across sections so corruption localizes — a flipped byte in the
+// histograms section names "histograms", not "snapshot".
+//
+// The trees and histograms sections are positionally aligned with the
+// extents section: entry i describes the i-th index in extent-major
+// order. Load cross-checks the counts.
+
+// --- meta ---
+
+func encodeMeta(e *enc, st *engine.SnapshotState) {
+	e.i64(st.Machine.RAM)
+	e.i64(st.Machine.ServerCache)
+	e.i64(st.Machine.ClientCache)
+	e.i64(st.Machine.HashBudget)
+	m := &st.Model
+	for _, d := range modelFields(m) {
+		e.i64(int64(*d))
+	}
+	e.u8(byte(st.Mode))
+	e.u32(st.NextIdx)
+}
+
+func decodeMeta(b []byte, st *engine.SnapshotState) error {
+	d := newDec(b, "meta")
+	st.Machine = sim.Machine{
+		RAM:         d.i64(),
+		ServerCache: d.i64(),
+		ClientCache: d.i64(),
+		HashBudget:  d.i64(),
+	}
+	for _, f := range modelFields(&st.Model) {
+		*f = timeDuration(d.i64())
+	}
+	st.Mode = txn.Mode(d.u8())
+	st.NextIdx = d.u32()
+	return d.finish()
+}
+
+// modelFields enumerates every CostModel field in declaration order. A
+// new field must be added here AND FormatVersion bumped, or saves would
+// silently drop it — TestMetaCoversCostModel pins the count.
+func modelFields(m *sim.CostModel) []*timeDuration {
+	return []*timeDuration{
+		&m.PageRead, &m.PageWrite, &m.RPC,
+		&m.ScanNext, &m.HandleGet, &m.HandleUnref,
+		&m.SlimScanNext, &m.SlimHandleGet, &m.SlimHandleUnref,
+		&m.AttrGet, &m.Compare, &m.HashInsert, &m.HashProbe,
+		&m.ResultAppend, &m.SlimResultAppend, &m.SortPerCompare,
+		&m.SwapRead, &m.SwapWrite, &m.LogWrite, &m.Lock,
+	}
+}
+
+// --- catalog ---
+
+func encodeCatalog(e *enc, files []storage.FileState) {
+	e.u32(uint32(len(files)))
+	for _, f := range files {
+		e.str(f.Name)
+		e.u32(uint32(f.AppendPage))
+		e.u32(uint32(len(f.Pages)))
+		for _, id := range f.Pages {
+			e.u32(uint32(id))
+		}
+	}
+}
+
+func decodeCatalog(b []byte) ([]storage.FileState, error) {
+	d := newDec(b, "catalog")
+	n := d.count(9, "file")
+	files := make([]storage.FileState, 0, n)
+	for i := 0; i < n; i++ {
+		f := storage.FileState{
+			Name:       d.str(),
+			AppendPage: int(d.u32()),
+		}
+		np := d.count(4, "page list")
+		f.Pages = make([]storage.PageID, np)
+		for j := range f.Pages {
+			f.Pages[j] = storage.PageID(d.u32())
+		}
+		files = append(files, f)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// --- registry ---
+
+func encodeRegistry(e *enc, st *object.RegistryState) {
+	e.u16(st.NextID)
+	e.u32(uint32(len(st.Classes)))
+	for _, c := range st.Classes {
+		e.u16(c.ID)
+		e.str(c.Name)
+		e.str(c.Parent)
+		e.u32(uint32(c.OrigAttrs))
+		e.u32(uint32(len(c.Attrs)))
+		for _, a := range c.Attrs {
+			e.str(a.Name)
+			e.u8(byte(a.Kind))
+			e.u32(uint32(a.StrLen))
+		}
+		e.u32(uint32(len(c.Defaults)))
+		for _, v := range c.Defaults {
+			encodeValue(e, v)
+		}
+	}
+}
+
+func decodeRegistry(b []byte) (*object.RegistryState, error) {
+	d := newDec(b, "registry")
+	st := &object.RegistryState{NextID: d.u16()}
+	n := d.count(15, "class")
+	for i := 0; i < n; i++ {
+		c := object.ClassState{
+			ID:     d.u16(),
+			Name:   d.str(),
+			Parent: d.str(),
+		}
+		c.OrigAttrs = int(d.u32())
+		na := d.count(9, "attr")
+		c.Attrs = make([]object.Attr, na)
+		for j := range c.Attrs {
+			c.Attrs[j] = object.Attr{
+				Name:   d.str(),
+				Kind:   object.Kind(d.u8()),
+				StrLen: int(d.u32()),
+			}
+		}
+		nd := d.count(1, "default")
+		c.Defaults = make([]object.Value, nd)
+		for j := range c.Defaults {
+			c.Defaults[j] = decodeValue(d)
+		}
+		st.Classes = append(st.Classes, c)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func encodeValue(e *enc, v object.Value) {
+	e.u8(byte(v.Kind))
+	switch v.Kind {
+	case object.KindInt, object.KindChar:
+		e.i64(v.Int)
+	case object.KindString:
+		e.str(v.Str)
+	case object.KindRef, object.KindSet:
+		e.rid(v.Ref)
+	}
+}
+
+func decodeValue(d *dec) object.Value {
+	v := object.Value{Kind: object.Kind(d.u8())}
+	switch v.Kind {
+	case object.KindInt, object.KindChar:
+		v.Int = d.i64()
+	case object.KindString:
+		v.Str = d.str()
+	case object.KindRef, object.KindSet:
+		v.Ref = d.rid()
+	default:
+		d.fail("value kind")
+	}
+	return v
+}
+
+// --- extents (plus roots and relationships) ---
+
+func encodeExtents(e *enc, st *engine.SnapshotState) {
+	e.u32(uint32(len(st.Extents)))
+	for _, ex := range st.Extents {
+		e.str(ex.Name)
+		e.str(ex.Class)
+		e.str(ex.File)
+		e.bool(ex.IndexedAtCreation)
+		e.i64(int64(ex.Count))
+		e.u32(uint32(len(ex.Indexes)))
+		for _, ix := range ex.Indexes {
+			e.str(ix.Attr)
+			e.bool(ix.Clustered)
+		}
+	}
+	e.u32(uint32(len(st.Roots)))
+	for _, r := range st.Roots {
+		e.str(r.Name)
+		e.rid(r.Rid)
+	}
+	e.u32(uint32(len(st.Rels)))
+	for _, r := range st.Rels {
+		e.str(r.Parent)
+		e.str(r.SetAttr)
+		e.str(r.Child)
+		e.str(r.RefAttr)
+	}
+}
+
+func decodeExtents(b []byte, st *engine.SnapshotState) error {
+	d := newDec(b, "extents")
+	n := d.count(26, "extent")
+	for i := 0; i < n; i++ {
+		ex := engine.ExtentState{
+			Name:              d.str(),
+			Class:             d.str(),
+			File:              d.str(),
+			IndexedAtCreation: d.boolv(),
+			Count:             int(d.i64()),
+		}
+		ni := d.count(5, "index")
+		for j := 0; j < ni; j++ {
+			ex.Indexes = append(ex.Indexes, engine.IndexState{
+				Attr:      d.str(),
+				Clustered: d.boolv(),
+			})
+		}
+		st.Extents = append(st.Extents, ex)
+	}
+	nr := d.count(10, "root")
+	for i := 0; i < nr; i++ {
+		st.Roots = append(st.Roots, engine.RootState{Name: d.str(), Rid: d.rid()})
+	}
+	nl := d.count(16, "relationship")
+	for i := 0; i < nl; i++ {
+		st.Rels = append(st.Rels, engine.RelationshipState{
+			Parent:  d.str(),
+			SetAttr: d.str(),
+			Child:   d.str(),
+			RefAttr: d.str(),
+		})
+	}
+	return d.finish()
+}
+
+// --- trees ---
+
+func encodeTrees(e *enc, st *engine.SnapshotState) {
+	var trees []index.TreeState
+	for _, ex := range st.Extents {
+		for _, ix := range ex.Indexes {
+			trees = append(trees, ix.Tree)
+		}
+	}
+	e.u32(uint32(len(trees)))
+	for _, t := range trees {
+		e.u32(t.ID)
+		e.str(t.Name)
+		e.u32(uint32(t.Root))
+		e.i64(int64(t.Height))
+		e.i64(int64(t.Pages))
+		e.i64(int64(t.Len))
+	}
+}
+
+func decodeTrees(b []byte, st *engine.SnapshotState) error {
+	d := newDec(b, "trees")
+	n := d.count(36, "tree")
+	trees := make([]index.TreeState, n)
+	for i := range trees {
+		trees[i] = index.TreeState{
+			ID:     d.u32(),
+			Name:   d.str(),
+			Root:   storage.PageID(d.u32()),
+			Height: int(d.i64()),
+			Pages:  int(d.i64()),
+			Len:    int(d.i64()),
+		}
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	return placeIndexes(st, len(trees), "trees", func(ix *engine.IndexState, i int) {
+		ix.Tree = trees[i]
+	})
+}
+
+// --- histograms ---
+
+func encodeHistograms(e *enc, st *engine.SnapshotState) {
+	var stats [][]histogram.BucketState
+	for _, ex := range st.Extents {
+		for _, ix := range ex.Indexes {
+			stats = append(stats, ix.Stats)
+		}
+	}
+	e.u32(uint32(len(stats)))
+	for _, s := range stats {
+		e.u32(uint32(len(s)))
+		for _, b := range s {
+			e.i64(b.Lo)
+			e.i64(b.Hi)
+			e.i64(b.Count)
+		}
+	}
+}
+
+func decodeHistograms(b []byte, st *engine.SnapshotState) error {
+	d := newDec(b, "histograms")
+	n := d.count(4, "histogram")
+	stats := make([][]histogram.BucketState, n)
+	for i := range stats {
+		nb := d.count(24, "bucket")
+		if nb == 0 {
+			continue
+		}
+		stats[i] = make([]histogram.BucketState, nb)
+		for j := range stats[i] {
+			stats[i][j] = histogram.BucketState{Lo: d.i64(), Hi: d.i64(), Count: d.i64()}
+		}
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	return placeIndexes(st, len(stats), "histograms", func(ix *engine.IndexState, i int) {
+		ix.Stats = stats[i]
+	})
+}
+
+// placeIndexes walks the extents' indexes in extent-major order and calls
+// fill with each one's flat position, after checking the aligned section
+// has exactly one entry per index.
+func placeIndexes(st *engine.SnapshotState, have int, section string, fill func(*engine.IndexState, int)) error {
+	total := 0
+	for _, ex := range st.Extents {
+		total += len(ex.Indexes)
+	}
+	if have != total {
+		return fmt.Errorf("%w: %s section has %d entries for %d indexes",
+			ErrFormat, section, have, total)
+	}
+	i := 0
+	for e := range st.Extents {
+		for j := range st.Extents[e].Indexes {
+			fill(&st.Extents[e].Indexes[j], i)
+			i++
+		}
+	}
+	return nil
+}
+
+// --- derby ---
+
+func encodeDerby(e *enc, st *derby.SnapshotState) {
+	e.i64(int64(st.NumProviders))
+	e.i64(int64(st.NumPatients))
+	e.u8(byte(st.Clustering))
+	e.u32(uint32(len(st.ProviderRids)))
+	for _, r := range st.ProviderRids {
+		e.rid(r)
+	}
+	e.u32(uint32(len(st.PatientRids)))
+	for _, r := range st.PatientRids {
+		e.rid(r)
+	}
+	e.i64(int64(st.Load.Elapsed))
+	e.i64(int64(st.Load.Commits))
+	e.i64(int64(st.Load.Relocations))
+	for _, c := range counterFields(&st.Load.Counters) {
+		e.i64(*c)
+	}
+}
+
+func decodeDerby(b []byte) (*derby.SnapshotState, error) {
+	d := newDec(b, "derby")
+	st := &derby.SnapshotState{
+		NumProviders: int(d.i64()),
+		NumPatients:  int(d.i64()),
+		Clustering:   derby.Clustering(d.u8()),
+	}
+	np := d.count(6, "provider rid")
+	st.ProviderRids = make([]storage.Rid, np)
+	for i := range st.ProviderRids {
+		st.ProviderRids[i] = d.rid()
+	}
+	nt := d.count(6, "patient rid")
+	st.PatientRids = make([]storage.Rid, nt)
+	for i := range st.PatientRids {
+		st.PatientRids[i] = d.rid()
+	}
+	st.Load.Elapsed = timeDuration(d.i64())
+	st.Load.Commits = int(d.i64())
+	st.Load.Relocations = int(d.i64())
+	for _, c := range counterFields(&st.Load.Counters) {
+		*c = d.i64()
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// counterFields enumerates every sim.Counters field in declaration order;
+// like modelFields, additions require a FormatVersion bump.
+func counterFields(c *sim.Counters) []*int64 {
+	return []*int64{
+		&c.DiskReads, &c.DiskWrites, &c.RPCs, &c.RPCBytes,
+		&c.ServerHits, &c.ServerToClient, &c.ClientHits, &c.ClientFaults,
+		&c.LogPages, &c.Locks,
+		&c.ScanNexts, &c.HandleGets, &c.HandleUnrefs, &c.AttrGets,
+		&c.Compares, &c.HashInserts, &c.HashProbes, &c.ResultAppends,
+		&c.SortedElems, &c.SwapReads, &c.SwapWrites,
+	}
+}

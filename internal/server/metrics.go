@@ -64,7 +64,7 @@ func (m *metrics) record(wall, simulated time.Duration, queryErr bool) {
 
 // snapshot renders the current state. Queue depth, session occupancy and
 // snapshot memory are read from the server's live gauges by the caller.
-func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, snapshotBytes int64) *wire.Stats {
+func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, snapshotBytes int64, snapshotSource string) *wire.Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &wire.Stats{
@@ -78,6 +78,7 @@ func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, sn
 		BusySessions:   busySessions,
 		SnapshotPages:  snapshotPages,
 		SnapshotBytes:  snapshotBytes,
+		SnapshotSource: snapshotSource,
 	}
 	s.WallP50us, s.WallP95us, s.WallP99us, s.WallHist = summarize(m.wallUs)
 	s.SimP50ms, s.SimP95ms, s.SimP99ms, s.SimHist = summarize(m.simMs)

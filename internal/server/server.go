@@ -46,8 +46,15 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Config parameterizes a Server.
 type Config struct {
+	// Source produces the frozen database snapshot plus a provenance
+	// label ("generated", or "cache (path)" when loaded from a persisted
+	// snapshot). It runs exactly once; every session forks from the
+	// result. Exactly one of Source and Generate is required; Source wins
+	// when both are set.
+	Source func() (*derby.Snapshot, string, error)
 	// Generate builds the database (deterministic). It runs exactly once;
-	// every session forks from the frozen result. Required.
+	// every session forks from the frozen result. Superseded by Source,
+	// kept for callers that always generate.
 	Generate func() (*derby.Dataset, error)
 	// Label names the served database in the handshake.
 	Label string
@@ -79,8 +86,10 @@ type Server struct {
 	// many sessions race to first use — the same singleflight discipline
 	// the experiment scheduler uses for its datasets.
 	snapFlight core.Flight[struct{}, *derby.Snapshot]
-	// snap publishes the generated snapshot for Stats (nil until then).
-	snap atomic.Pointer[derby.Snapshot]
+	// snap publishes the generated snapshot for Stats (nil until then);
+	// snapSource publishes its provenance alongside.
+	snap       atomic.Pointer[derby.Snapshot]
+	snapSource atomic.Pointer[string]
 	// busy counts currently executing queries.
 	busy atomic.Int64
 
@@ -101,8 +110,8 @@ type Server struct {
 
 // New validates cfg and returns an unstarted server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Generate == nil {
-		return nil, fmt.Errorf("server: Config.Generate is required")
+	if cfg.Source == nil && cfg.Generate == nil {
+		return nil, fmt.Errorf("server: Config.Source or Config.Generate is required")
 	}
 	if cfg.Sessions == 0 {
 		cfg.Sessions = core.JobsFromEnv(core.DefaultJobs())
@@ -142,17 +151,32 @@ func (s *Server) logf(format string, args ...any) {
 // would otherwise pay — without changing any reported number.
 func (s *Server) snapshot() (*derby.Snapshot, error) {
 	return s.snapFlight.Do(struct{}{}, func() (*derby.Snapshot, error) {
-		d, err := s.cfg.Generate()
-		if err != nil {
-			return nil, err
+		var (
+			sn     *derby.Snapshot
+			source string
+			err    error
+		)
+		if s.cfg.Source != nil {
+			sn, source, err = s.cfg.Source()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			source = "generated"
+			d, err := s.cfg.Generate()
+			if err != nil {
+				return nil, err
+			}
+			if sn, err = d.Freeze(); err != nil {
+				return nil, err
+			}
 		}
-		sn, err := d.Freeze()
-		if err != nil {
-			return nil, err
-		}
+		// Snapshots arrive unprimed whichever path produced them (the
+		// cache stores them straight after Freeze); prime once here.
 		if err := sn.Engine.PrimeStats(); err != nil {
 			return nil, err
 		}
+		s.snapSource.Store(&source)
 		s.snap.Store(sn)
 		return sn, nil
 	})
@@ -252,11 +276,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // the database has been generated (zero before).
 func (s *Server) Stats() *wire.Stats {
 	var pages, bytes int64
+	var source string
 	if sn := s.snap.Load(); sn != nil {
 		pages = int64(sn.Engine.Pages())
 		bytes = sn.Engine.Bytes()
+		if p := s.snapSource.Load(); p != nil {
+			source = *p
+		}
 	}
-	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes)
+	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes, source)
 }
 
 // admit acquires an admission slot within the deadline. It returns a wire

@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // ErrNoPage is returned for reads of unallocated pages.
@@ -31,19 +32,87 @@ type Pager interface {
 	Alloc() (PageID, []byte, error)
 }
 
+// PageSource supplies page contents for a Base materialized lazily — the
+// hook a persisted snapshot file plugs in beneath the COW overlay, so a
+// loaded snapshot behaves exactly like a freshly frozen one without
+// reading the whole image up front. ReadPage fills dst (PageSize bytes)
+// with page i's content; it must be safe for concurrent use.
+type PageSource interface {
+	ReadPage(i int, dst []byte) error
+}
+
 // Base is a frozen, immutable page image: the disk-resident half of a
 // database snapshot. Any number of Disks can be forked from one Base and
 // share its page buffers physically; Base itself has no mutating methods.
+//
+// A Base is either eager (all page buffers resident, the Freeze path) or
+// lazy (pages faulted in one at a time from a PageSource on first access,
+// the snapshot-load path). Forks cannot tell the difference: a faulted
+// page is cached forever, so the shared-buffer discipline holds either
+// way.
 type Base struct {
-	pages    [][]byte
-	capacity int // max pages; 0 means unbounded
+	pages    [][]byte // eager image; nil for a lazy base
+	n        int      // page count
+	capacity int      // max pages; 0 means unbounded
+
+	src   PageSource               // lazy page supplier; nil for an eager base
+	cells []atomic.Pointer[[]byte] // lazily faulted pages, indexed by PageID
+}
+
+// NewBase builds an eager Base directly from page buffers (the
+// snapshot-restore path when the whole image is already in memory). Each
+// buffer must be PageSize bytes; the slice is owned by the Base from here
+// on. capacityBytes of 0 means unbounded.
+func NewBase(pages [][]byte, capacityBytes int64) *Base {
+	b := &Base{pages: pages[:len(pages):len(pages)], n: len(pages)}
+	if capacityBytes > 0 {
+		b.capacity = int(capacityBytes / PageSize)
+	}
+	return b
+}
+
+// NewLazyBase builds a Base of numPages pages served on demand by src.
+// capacityBytes of 0 means unbounded.
+func NewLazyBase(numPages int, capacityBytes int64, src PageSource) *Base {
+	b := &Base{n: numPages, src: src, cells: make([]atomic.Pointer[[]byte], numPages)}
+	if capacityBytes > 0 {
+		b.capacity = int(capacityBytes / PageSize)
+	}
+	return b
 }
 
 // NumPages returns the number of frozen pages.
-func (b *Base) NumPages() int { return len(b.pages) }
+func (b *Base) NumPages() int { return b.n }
 
 // Bytes returns the physical size of the frozen page image.
-func (b *Base) Bytes() int64 { return int64(len(b.pages)) * PageSize }
+func (b *Base) Bytes() int64 { return int64(b.n) * PageSize }
+
+// CapacityBytes returns the disk capacity the base was frozen with
+// (0 = unbounded), so a persisted snapshot can restore it exactly.
+func (b *Base) CapacityBytes() int64 { return int64(b.capacity) * PageSize }
+
+// Page returns the shared buffer of page id, faulting it in from the
+// PageSource on a lazy base. The returned slice is the canonical resident
+// copy — callers must never mutate it. Safe for concurrent use.
+func (b *Base) Page(id PageID) ([]byte, error) {
+	if int(id) >= b.n {
+		return nil, fmt.Errorf("%w: %d", ErrNoPage, id)
+	}
+	if b.src == nil {
+		return b.pages[id], nil
+	}
+	if p := b.cells[id].Load(); p != nil {
+		return *p, nil
+	}
+	buf := make([]byte, PageSize)
+	if err := b.src.ReadPage(int(id), buf); err != nil {
+		return nil, fmt.Errorf("storage: page %d: %w", id, err)
+	}
+	if !b.cells[id].CompareAndSwap(nil, &buf) {
+		return *b.cells[id].Load(), nil // another reader faulted it first
+	}
+	return buf, nil
+}
 
 // Fork returns a read-only disk over the base: reads alias the shared
 // frozen buffers with zero copying, writes and allocations fail with
@@ -94,7 +163,7 @@ func (d *Disk) baseLen() int {
 	if d.base == nil {
 		return 0
 	}
-	return len(d.base.pages)
+	return d.base.n
 }
 
 // NumPages returns the number of allocated pages, shared and private.
@@ -112,7 +181,7 @@ func (d *Disk) Freeze() (*Base, error) {
 	if d.base != nil {
 		return nil, fmt.Errorf("storage: cannot freeze a forked disk")
 	}
-	b := &Base{pages: d.pages[:len(d.pages):len(d.pages)], capacity: d.capacity}
+	b := &Base{pages: d.pages[:len(d.pages):len(d.pages)], n: len(d.pages), capacity: d.capacity}
 	d.pages = nil
 	d.base = b
 	d.readOnly = true
@@ -126,13 +195,17 @@ func (d *Disk) Freeze() (*Base, error) {
 func (d *Disk) Read(id PageID) ([]byte, error) {
 	if bl := d.baseLen(); int(id) < bl {
 		if d.readOnly {
-			return d.base.pages[id], nil
+			return d.base.Page(id)
 		}
 		if buf, ok := d.overlay[id]; ok {
 			return buf, nil
 		}
+		src, err := d.base.Page(id)
+		if err != nil {
+			return nil, err
+		}
 		buf := make([]byte, PageSize)
-		copy(buf, d.base.pages[id])
+		copy(buf, src)
 		d.overlay[id] = buf
 		return buf, nil
 	} else if idx := int(id) - bl; idx < len(d.pages) {

@@ -1,0 +1,64 @@
+package storage
+
+import "fmt"
+
+// Serializable catalog state. A frozen Store's file metadata — names, page
+// lists, append cursors — is what a persisted snapshot must carry alongside
+// the raw page image so that a restored Store forks sessions exactly like
+// the original builder's would.
+
+// FileState is the serializable description of one heap file.
+type FileState struct {
+	Name       string
+	Pages      []PageID
+	AppendPage int
+}
+
+// State exports every file's metadata in creation order.
+func (s *Store) State() []FileState {
+	out := make([]FileState, 0, len(s.order))
+	for _, name := range s.order {
+		f := s.files[name]
+		out = append(out, FileState{
+			Name:       f.Name,
+			Pages:      f.Pages[:len(f.Pages):len(f.Pages)],
+			AppendPage: f.appendPage,
+		})
+	}
+	return out
+}
+
+// RestoreStore rebuilds a frozen Store's catalog over disk d (typically a
+// read-only fork of a restored Base). It validates the catalog instead of
+// trusting it: duplicate names and out-of-range page ids or cursors fail
+// with an error, never a panic or a silently wrong file.
+func RestoreStore(d *Disk, files []FileState) (*Store, error) {
+	s := &Store{Disk: d, files: make(map[string]*File, len(files))}
+	numPages := d.NumPages()
+	for _, fs := range files {
+		if fs.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed file in catalog", ErrBadFile)
+		}
+		if _, dup := s.files[fs.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate file %q in catalog", ErrBadFile, fs.Name)
+		}
+		for _, id := range fs.Pages {
+			if int(id) >= numPages {
+				return nil, fmt.Errorf("%w: file %q references page %d beyond image (%d pages)",
+					ErrBadFile, fs.Name, id, numPages)
+			}
+		}
+		if fs.AppendPage < 0 || fs.AppendPage > len(fs.Pages) {
+			return nil, fmt.Errorf("%w: file %q append cursor %d out of range (%d pages)",
+				ErrBadFile, fs.Name, fs.AppendPage, len(fs.Pages))
+		}
+		f := &File{
+			Name:       fs.Name,
+			Pages:      fs.Pages[:len(fs.Pages):len(fs.Pages)],
+			appendPage: fs.AppendPage,
+		}
+		s.files[fs.Name] = f
+		s.order = append(s.order, fs.Name)
+	}
+	return s, nil
+}

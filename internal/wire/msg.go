@@ -207,6 +207,11 @@ type Stats struct {
 	// ("[lo,hi):count ..." buckets) of the same two populations.
 	WallHist string
 	SimHist  string
+
+	// SnapshotSource records where the served snapshot came from:
+	// "generated" for a fresh build, "cache" for a persisted snapshot
+	// loaded from disk (with its path), "" until the database exists.
+	SnapshotSource string
 }
 
 func (m *Stats) Encode() []byte {
@@ -222,6 +227,7 @@ func (m *Stats) Encode() []byte {
 	}
 	e.str(m.WallHist)
 	e.str(m.SimHist)
+	e.str(m.SnapshotSource)
 	return e.b
 }
 
@@ -240,6 +246,7 @@ func DecodeStats(b []byte) (*Stats, error) {
 	}
 	m.WallHist = d.str()
 	m.SimHist = d.str()
+	m.SnapshotSource = d.str()
 	return m, d.finish("stats")
 }
 

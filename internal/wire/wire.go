@@ -20,7 +20,8 @@ import (
 )
 
 // Version is the protocol version exchanged in the Hello handshake.
-const Version uint32 = 1
+// v2 added Stats.SnapshotSource (snapshot provenance).
+const Version uint32 = 2
 
 // MaxPayload bounds a frame's payload; larger length prefixes are rejected
 // before any allocation (a malformed or hostile peer cannot make us

@@ -117,6 +117,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		WallP50us: 1200, WallP95us: 9000, WallP99us: 20000,
 		SimP50ms: 3100, SimP95ms: 3300, SimP99ms: 3400,
 		WallHist: "[1,10):5 [10,20):5", SimHist: "[3100,3400):10",
+		SnapshotSource: "cache (/tmp/cache/ab12.tbsp)",
 	}
 	if got, err := DecodeStats(st.Encode()); err != nil || *got != *st {
 		t.Fatalf("stats round trip: %+v, %v", got, err)

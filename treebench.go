@@ -45,6 +45,7 @@ import (
 	"treebench/internal/join"
 	"treebench/internal/object"
 	"treebench/internal/oql"
+	"treebench/internal/persist"
 	"treebench/internal/selection"
 	"treebench/internal/sim"
 	"treebench/internal/stats"
@@ -216,6 +217,38 @@ func GenerateDerby(cfg GenConfig) (*Dataset, error) { return derby.Generate(cfg)
 // concurrent session — N sessions cost one generation and one page image.
 // The dataset's own session stays usable read-only.
 func FreezeDerby(d *Dataset) (*DerbySnapshot, error) { return d.Freeze() }
+
+// Snapshot persistence (internal/persist).
+type (
+	// SnapshotCache is the content-addressed on-disk snapshot store.
+	SnapshotCache = persist.Cache
+	// SnapshotManifest summarizes a snapshot file.
+	SnapshotManifest = persist.Manifest
+	// SnapshotOutcome reports where a cached snapshot came from.
+	SnapshotOutcome = persist.Outcome
+)
+
+// SaveSnapshot writes a frozen Derby snapshot to path atomically in the
+// versioned on-disk format (see DESIGN.md). Saving the same snapshot
+// twice produces byte-identical files.
+func SaveSnapshot(path string, snap *DerbySnapshot) error { return persist.Save(path, snap) }
+
+// LoadSnapshot verifies every section checksum and rebuilds the snapshot,
+// streaming data pages from the file lazily: sessions fork from it
+// exactly as from the freshly generated original.
+func LoadSnapshot(path string) (*DerbySnapshot, error) { return persist.Load(path) }
+
+// VerifySnapshot checks a snapshot file's integrity without loading it.
+func VerifySnapshot(path string) (*SnapshotManifest, error) { return persist.Verify(path) }
+
+// OpenSnapshotCache opens (creating if needed) the content-addressed
+// snapshot cache at dir; "" selects $TREEBENCH_SNAPSHOT_DIR or the
+// user-cache default.
+func OpenSnapshotCache(dir string) (*SnapshotCache, error) { return persist.Open(dir) }
+
+// SnapshotKey returns the content address a generation config caches
+// under: a hash of every generation parameter plus the format version.
+func SnapshotKey(cfg GenConfig) string { return persist.KeyFor(cfg) }
 
 // Query processing.
 type (
