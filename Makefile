@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-fork bench-snap experiments experiments-full plots cover fuzz smoke snap-smoke clean
+.PHONY: all build test race bench bench-fork bench-snap bench-query experiments experiments-full plots cover fuzz smoke snap-smoke clean
 
 all: build test
 
@@ -31,6 +31,14 @@ bench-fork:
 # speedup).
 bench-snap:
 	$(GO) test -run 'TestNothing^' -bench 'BenchmarkSnapshot(Generate|Load)' -benchmem ./internal/persist
+
+# Intra-query parallel speedup: the identical cold PHJ tree query at one
+# worker vs four over one shared snapshot. Writes BENCH_query.json; on a
+# machine with at least 4 CPUs the run fails if four workers buy less than
+# MIN_SPEEDUP (default 1.5×). Simulated numbers are asserted identical at
+# both settings inside the benchmark itself.
+bench-query:
+	./scripts/bench_query.sh
 
 # The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
 experiments:

@@ -1,0 +1,84 @@
+package treebench
+
+// benchquery_test.go measures what intra-query parallelism buys in wall
+// time — the only clock it is allowed to touch. BenchmarkQuerySequential
+// and BenchmarkQueryParallel run the identical cold PHJ tree query (90%
+// children, 90% parents — the paper's heavy hash-join point) over one
+// shared frozen snapshot; the only difference is the worker count, so
+// ns/op(Sequential) / ns/op(Parallel) is the intra-query speedup.
+// scripts/bench_query.sh turns the ratio into BENCH_query.json and CI
+// fails if four workers buy less than 1.5×. Simulated results are
+// asserted identical across both benchmarks on every iteration.
+
+import (
+	"sync"
+	"testing"
+
+	"treebench/internal/derby"
+	"treebench/internal/join"
+)
+
+var (
+	bqOnce sync.Once
+	bqSnap *derby.Snapshot
+	bqErr  error
+
+	bqMu       sync.Mutex
+	bqTuples   = -1
+	bqElapsedN int64
+)
+
+// querySnapshot generates the benchmark database once per process:
+// SF=10 of the paper's Figure 11 configuration (2000 providers, 1:100 —
+// 2×10⁵ patients), or 200×200 under -short. Both sizes decompose into the
+// maximum 8 chunks, so the short run still exercises full fan-out.
+func querySnapshot(b *testing.B) *derby.Snapshot {
+	bqOnce.Do(func() {
+		providers, avg := 2000, 100
+		if testing.Short() {
+			providers, avg = 200, 200
+		}
+		var d *derby.Dataset
+		if d, bqErr = derby.Generate(derby.DefaultConfig(providers, avg, derby.ClassCluster)); bqErr != nil {
+			return
+		}
+		bqSnap, bqErr = d.Freeze()
+	})
+	if bqErr != nil {
+		b.Fatal(bqErr)
+	}
+	return bqSnap
+}
+
+// benchQueryAtJobs forks a fresh cold session per iteration (fork is
+// O(catalog), noise next to the join) and runs the PHJ tree query with
+// the given worker count, asserting the simulated result never moves.
+func benchQueryAtJobs(b *testing.B, jobs int) {
+	sn := querySnapshot(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := sn.Fork()
+		f.DB.SetQueryJobs(jobs)
+		env := join.EnvForDerby(f)
+		env.DB.ColdRestart()
+		res, err := join.Run(env, join.PHJ, env.BySelectivity(90, 90))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		bqMu.Lock()
+		if bqTuples == -1 {
+			bqTuples, bqElapsedN = res.Tuples, int64(res.Elapsed)
+		} else if res.Tuples != bqTuples || int64(res.Elapsed) != bqElapsedN {
+			bqMu.Unlock()
+			b.Fatalf("qj=%d: simulated result moved: %d tuples %v, want %d tuples %v",
+				jobs, res.Tuples, res.Elapsed, bqTuples, bqElapsedN)
+		}
+		bqMu.Unlock()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkQuerySequential(b *testing.B) { benchQueryAtJobs(b, 1) }
+func BenchmarkQueryParallel(b *testing.B)   { benchQueryAtJobs(b, 4) }

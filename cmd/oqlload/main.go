@@ -157,6 +157,10 @@ func main() {
 			if st.SnapshotSource != "" {
 				fmt.Printf("server snapshot source: %s\n", st.SnapshotSource)
 			}
+			if total := st.PlanCacheHits + st.PlanCacheMisses; total > 0 {
+				fmt.Printf("server plan cache: %d hits / %d lookups (%.0f%%)\n",
+					st.PlanCacheHits, total, 100*float64(st.PlanCacheHits)/float64(total))
+			}
 			fmt.Printf("server wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
 				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",

@@ -37,6 +37,7 @@ import (
 
 	"treebench"
 	"treebench/internal/oql"
+	"treebench/internal/session"
 	"treebench/internal/shell"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		stmts      = flag.String("e", "", "run these semicolon-terminated statements and exit")
 		script     = flag.String("f", "", "run this script file and exit")
 		warm       = flag.Bool("warm", false, "keep caches warm between statements (like the .warm command)")
+		qjobs      = flag.Int("qj", 0, "intra-query workers (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); output identical at any setting)")
 	)
 	flag.Parse()
 	scripted := *stmts != "" || *script != ""
@@ -79,7 +81,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oqlsh:", err)
 		os.Exit(1)
 	}
-	sh := shell.New(d.DB)
+	qj := *qjobs
+	if qj == 0 {
+		qj = treebench.QueryJobsFromEnv(0)
+	}
+	sh := shell.NewWith(d.DB, session.Config{
+		QueryJobs: qj,
+		PlanCache: oql.NewPlanCache(0),
+	})
 	if strings.HasPrefix(*strategy, "heur") {
 		sh.Planner.Strategy = oql.Heuristic
 	}

@@ -35,6 +35,7 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		sf      = flag.Int("sf", 0, "scale factor (default from TREEBENCH_SF or 10; 1 = paper scale)")
 		jobs    = flag.Int("j", 0, "concurrent experiments (default from TREEBENCH_JOBS or min(NumCPU, 8))")
+		qjobs   = flag.Int("qj", 0, "intra-query workers per experiment (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); results identical at any setting)")
 		seed    = flag.Int("seed", 1997, "data generator seed")
 		verbose = flag.Bool("v", false, "stream per-run progress")
 		hhj     = flag.Bool("hhj", false, "include the hybrid-hash extension in the join experiments")
@@ -67,6 +68,12 @@ func main() {
 			fatal(fmt.Errorf("-j %d: must be at least 1", *jobs))
 		}
 		cfg.Jobs = *jobs
+	}
+	if *qjobs != 0 {
+		if *qjobs < 1 {
+			fatal(fmt.Errorf("-qj %d: must be at least 1", *qjobs))
+		}
+		cfg.QueryJobs = *qjobs
 	}
 	cfg.Seed = int32(*seed)
 	cfg.EnableHHJ = *hhj

@@ -56,6 +56,7 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "deprecated alias for -sessions")
 		maxConc    = flag.Int("max-concurrent", 0, "admission limit on executing queries (default sessions)")
 		maxQueue   = flag.Int("max-queue", 64, "queries allowed to wait for admission before rejection")
+		qjobs      = flag.Int("qj", 0, "intra-query workers per session (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); results identical at any setting)")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget (queue wait + execution)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
 		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory for instant warm boots (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
@@ -99,12 +100,17 @@ func main() {
 	if n == 0 {
 		n = core.JobsFromEnv(core.DefaultJobs())
 	}
+	qj := *qjobs
+	if qj == 0 {
+		qj = core.QueryJobsFromEnv(0)
+	}
 	scfg := server.Config{
 		Source:        snapshotSource(cfg, *snapDir, *saveSnap),
 		Label:         label,
 		Sessions:      n,
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
+		QueryJobs:     qj,
 		QueryTimeout:  *timeout,
 	}
 	if *verbose {

@@ -1,15 +1,24 @@
 package cache
 
 import (
+	"sync"
+
 	"treebench/internal/sim"
 	"treebench/internal/storage"
 )
 
 // Server is the server-side page cache in front of the disk. It implements
 // storage.Pager.
+//
+// A Server may be shared by concurrent readers (parallel query chunks, or
+// several clients of one daemon): mu serializes every public method, since
+// even a read hit mutates LRU recency, and the meter charges happen under
+// the same lock. The Client below stays single-owner — each session or
+// chunk fork builds its own.
 type Server struct {
 	disk  *storage.Disk
 	meter *sim.Meter
+	mu    sync.Mutex
 	lru   *lru
 }
 
@@ -25,6 +34,8 @@ func NewServer(disk *storage.Disk, meter *sim.Meter, capacityBytes int64) *Serve
 
 // Read implements storage.Pager: a hit is free, a miss reads from disk.
 func (s *Server) Read(id storage.PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e := s.lru.get(id); e != nil {
 		s.meter.ServerHit()
 		return e.buf, nil
@@ -40,6 +51,8 @@ func (s *Server) Read(id storage.PageID) ([]byte, error) {
 
 // Write implements storage.Pager: marks the page dirty in the cache.
 func (s *Server) Write(id storage.PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e := s.lru.peek(id); e != nil {
 		e.dirty = true
 		return nil
@@ -56,6 +69,8 @@ func (s *Server) Write(id storage.PageID) error {
 
 // Alloc implements storage.Pager. The fresh page is resident and dirty.
 func (s *Server) Alloc() (storage.PageID, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id, buf, err := s.disk.Alloc()
 	if err != nil {
 		return 0, nil, err
@@ -72,17 +87,21 @@ func (s *Server) admit(id storage.PageID, buf []byte, dirty bool) {
 
 // Flush writes every dirty resident page to disk, leaving the cache warm.
 func (s *Server) Flush() {
-	for e := s.lru.tail; e != nil; e = e.prev {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lru.each(func(e *lruEntry) {
 		if e.dirty {
 			e.dirty = false
 			s.meter.DiskWrite()
 		}
-	}
+	})
 }
 
 // Shutdown flushes and empties the cache (the paper's cold restart between
 // measured queries).
 func (s *Server) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, e := range s.lru.drain() {
 		if e.dirty {
 			s.meter.DiskWrite()
@@ -91,7 +110,11 @@ func (s *Server) Shutdown() {
 }
 
 // Resident returns the number of cached pages.
-func (s *Server) Resident() int { return s.lru.len() }
+func (s *Server) Resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.len()
+}
 
 // Client is the client-side page cache. Every miss is one RPC to the
 // server carrying one page back; scan operators can additionally batch
@@ -214,12 +237,12 @@ func (c *Client) writeBack(e *lruEntry) {
 // Flush pushes every dirty client page to the server and flushes the
 // server to disk.
 func (c *Client) Flush() {
-	for e := c.lru.tail; e != nil; e = e.prev {
+	c.lru.each(func(e *lruEntry) {
 		if e.dirty {
 			e.dirty = false
 			c.writeBack(e)
 		}
-	}
+	})
 	c.server.Flush()
 }
 

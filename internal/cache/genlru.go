@@ -1,0 +1,136 @@
+package cache
+
+// LRU is a generic fixed-capacity least-recently-used map: the backbone of
+// the page caches below and of the query-plan cache in internal/oql. Not
+// safe for concurrent use on its own; wrap it in a lock when callers share
+// it (see oql.PlanCache).
+type LRU[K comparable, V any] struct {
+	capacity   int
+	entries    map[K]*lruNode[K, V]
+	head, tail *lruNode[K, V] // head = most recently used
+}
+
+type lruNode[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruNode[K, V]
+}
+
+// NewLRU returns an empty LRU holding at most capacity entries (minimum 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{capacity: capacity, entries: make(map[K]*lruNode[K, V], capacity)}
+}
+
+// Get returns the value for k and marks it most recently used.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	if n := l.entries[k]; n != nil {
+		l.moveToFront(n)
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value for k without touching recency.
+func (l *LRU[K, V]) Peek(k K) (V, bool) {
+	if n := l.entries[k]; n != nil {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces k's value and marks it most recently used. When
+// the insert evicts the least recently used entry, its key and value are
+// returned with evicted == true so the caller can dispose of it (the page
+// caches flush dirty pages down a level).
+func (l *LRU[K, V]) Put(k K, v V) (evKey K, evVal V, evicted bool) {
+	if n := l.entries[k]; n != nil {
+		n.val = v
+		l.moveToFront(n)
+		return
+	}
+	if len(l.entries) >= l.capacity {
+		ev := l.tail
+		l.remove(ev)
+		evKey, evVal, evicted = ev.key, ev.val, true
+	}
+	n := &lruNode[K, V]{key: k, val: v}
+	l.pushFront(n)
+	l.entries[k] = n
+	return
+}
+
+// Remove deletes k, reporting whether it was present.
+func (l *LRU[K, V]) Remove(k K) bool {
+	n := l.entries[k]
+	if n == nil {
+		return false
+	}
+	l.remove(n)
+	return true
+}
+
+// Len returns the number of entries.
+func (l *LRU[K, V]) Len() int { return len(l.entries) }
+
+// Cap returns the capacity.
+func (l *LRU[K, V]) Cap() int { return l.capacity }
+
+// Each calls fn on every entry, least recently used first, without
+// touching recency. fn must not add or remove entries.
+func (l *LRU[K, V]) Each(fn func(K, V)) {
+	for n := l.tail; n != nil; n = n.prev {
+		fn(n.key, n.val)
+	}
+}
+
+// Drain removes and returns all values, least recently used first.
+func (l *LRU[K, V]) Drain() []V {
+	out := make([]V, 0, len(l.entries))
+	for l.tail != nil {
+		n := l.tail
+		l.remove(n)
+		out = append(out, n.val)
+	}
+	return out
+}
+
+func (l *LRU[K, V]) remove(n *lruNode[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	delete(l.entries, n.key)
+}
+
+func (l *LRU[K, V]) pushFront(n *lruNode[K, V]) {
+	n.next = l.head
+	n.prev = nil
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *LRU[K, V]) moveToFront(n *lruNode[K, V]) {
+	if l.head == n {
+		return
+	}
+	l.remove(n)
+	l.pushFront(n)
+	l.entries[n.key] = n
+}

@@ -12,105 +12,56 @@ package cache
 
 import "treebench/internal/storage"
 
-// lruEntry is a node of the intrusive LRU list.
+// lruEntry is one cached page: the unit the two page caches move around.
 type lruEntry struct {
-	id         storage.PageID
-	buf        []byte
-	dirty      bool
-	prev, next *lruEntry
+	id    storage.PageID
+	buf   []byte
+	dirty bool
 }
 
-// lru is a fixed-capacity page LRU. Not safe for concurrent use; the engine
-// is single-session like the paper's setup ("only one client running").
+// lru is a fixed-capacity page LRU over the generic LRU. Not safe for
+// concurrent use on its own; the Server wraps its instance in a lock so
+// parallel query chunks can share it.
 type lru struct {
 	capacity int
-	entries  map[storage.PageID]*lruEntry
-	head     *lruEntry // most recently used
-	tail     *lruEntry // least recently used
+	m        *LRU[storage.PageID, *lruEntry]
 }
 
 func newLRU(capacity int) *lru {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &lru{capacity: capacity, entries: make(map[storage.PageID]*lruEntry, capacity)}
+	m := NewLRU[storage.PageID, *lruEntry](capacity)
+	return &lru{capacity: m.Cap(), m: m}
 }
 
 func (l *lru) get(id storage.PageID) *lruEntry {
-	e := l.entries[id]
-	if e != nil {
-		l.moveToFront(e)
-	}
+	e, _ := l.m.Get(id)
 	return e
 }
 
 // peek returns the entry without touching recency.
-func (l *lru) peek(id storage.PageID) *lruEntry { return l.entries[id] }
+func (l *lru) peek(id storage.PageID) *lruEntry {
+	e, _ := l.m.Peek(id)
+	return e
+}
 
 // put inserts a page, evicting the LRU entry if needed. The evicted entry
 // (nil if none) is returned so the caller can propagate dirty data down.
 func (l *lru) put(id storage.PageID, buf []byte, dirty bool) (evicted *lruEntry) {
-	if e := l.entries[id]; e != nil {
+	if e, ok := l.m.Peek(id); ok {
 		e.buf = buf
 		e.dirty = e.dirty || dirty
-		l.moveToFront(e)
+		l.m.Get(id) // touch recency
 		return nil
 	}
-	if len(l.entries) >= l.capacity {
-		evicted = l.tail
-		l.remove(evicted)
-	}
-	e := &lruEntry{id: id, buf: buf, dirty: dirty}
-	l.pushFront(e)
-	l.entries[id] = e
+	_, evicted, _ = l.m.Put(id, &lruEntry{id: id, buf: buf, dirty: dirty})
 	return evicted
 }
 
-func (l *lru) remove(e *lruEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		l.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		l.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-	delete(l.entries, e.id)
-}
+func (l *lru) len() int { return l.m.Len() }
 
-func (l *lru) pushFront(e *lruEntry) {
-	e.next = l.head
-	e.prev = nil
-	if l.head != nil {
-		l.head.prev = e
-	}
-	l.head = e
-	if l.tail == nil {
-		l.tail = e
-	}
+// each visits all entries, LRU first, without touching recency.
+func (l *lru) each(fn func(*lruEntry)) {
+	l.m.Each(func(_ storage.PageID, e *lruEntry) { fn(e) })
 }
-
-func (l *lru) moveToFront(e *lruEntry) {
-	if l.head == e {
-		return
-	}
-	l.remove(e)
-	l.pushFront(e)
-	l.entries[e.id] = e
-}
-
-func (l *lru) len() int { return len(l.entries) }
 
 // drain removes and returns all entries, LRU first.
-func (l *lru) drain() []*lruEntry {
-	out := make([]*lruEntry, 0, len(l.entries))
-	for l.tail != nil {
-		e := l.tail
-		l.remove(e)
-		out = append(out, e)
-	}
-	return out
-}
+func (l *lru) drain() []*lruEntry { return l.m.Drain() }

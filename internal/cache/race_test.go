@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+)
+
+// TestServerConcurrentReaders is the shared-server race gate (run with
+// -race): one Server fronts many private Clients reading the same pages
+// concurrently — the chunk-worker topology, where per-worker client
+// caches all fault through the session's single server cache. Even a pure
+// read workload mutates the server's LRU recency list and its meter, so
+// every public Server method must serialize; this test fails under -race
+// if any path escapes the lock.
+func TestServerConcurrentReaders(t *testing.T) {
+	disk := storage.NewDisk(0)
+	meter := sim.NewMeter(sim.DefaultCostModel())
+	srv := NewServer(disk, meter, 8*storage.PageSize)
+
+	setup := NewClient(srv, meter, 4*storage.PageSize)
+	const pages = 32
+	ids := make([]storage.PageID, pages)
+	for i := range ids {
+		id, buf, err := setup.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := setup.Write(id); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	setup.Flush()
+
+	const readers = 8
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Each reader owns a private client and meter; the server
+			// below is shared and charges its own meter under its lock.
+			m := sim.NewMeter(sim.DefaultCostModel())
+			cli := NewClient(srv, m, 4*storage.PageSize)
+			for pass := 0; pass < 4; pass++ {
+				for i := 0; i < pages; i++ {
+					// Stagger start offsets so readers collide on
+					// different pages at the same time.
+					id := ids[(i+r*4)%pages]
+					buf, err := cli.Read(id)
+					if err != nil {
+						t.Errorf("reader %d: %v", r, err)
+						return
+					}
+					if buf[0] != byte((i+r*4)%pages) {
+						t.Errorf("reader %d: page %v corrupted", r, id)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if srv.Resident() == 0 {
+		t.Fatal("server cache empty after concurrent reads")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"treebench/internal/derby"
+	"treebench/internal/engine"
 	"treebench/internal/join"
 	"treebench/internal/persist"
 	"treebench/internal/sim"
@@ -36,6 +37,13 @@ type Config struct {
 	// Zero means DefaultJobs(); elapsed time is simulated per dataset, so
 	// results are bit-identical at any setting.
 	Jobs int
+	// QueryJobs bounds how many goroutines serve one query's chunks
+	// (intra-query parallelism). Zero means the engine default,
+	// min(NumCPU, 4). Under the parallel scheduler the effective width is
+	// divided by the scheduler's worker count so the two levels compose to
+	// roughly Jobs×QueryJobs goroutines, never Jobs·QueryJobs each.
+	// Simulated numbers are identical at any setting.
+	QueryJobs int
 	// SnapshotDir, when non-empty, backs dataset generation with the
 	// content-addressed snapshot cache at that directory: each distinct
 	// parameter set is generated at most once ever, then loaded. Results
@@ -57,6 +65,11 @@ const ScaleEnvVar = "TREEBENCH_SF"
 // JobsEnvVar overrides the scheduler's worker count (TREEBENCH_JOBS=1
 // forces sequential execution).
 const JobsEnvVar = "TREEBENCH_JOBS"
+
+// QueryJobsEnvVar overrides the intra-query worker count
+// (TREEBENCH_QUERY_JOBS=1 forces sequential chunk execution; results are
+// byte-identical either way).
+const QueryJobsEnvVar = "TREEBENCH_QUERY_JOBS"
 
 // SnapshotDirEnvVar enables the on-disk snapshot cache
 // (TREEBENCH_SNAPSHOT_DIR=~/.cache/treebench). persist.DefaultDir reads
@@ -86,14 +99,27 @@ func JobsFromEnv(def int) int {
 	return def
 }
 
-// ConfigFromEnv builds the default config, honoring ScaleEnvVar and
-// JobsEnvVar. Values below 1 (or non-numeric) are rejected and the default
-// kept.
+// QueryJobsFromEnv resolves an intra-query worker count from
+// QueryJobsEnvVar, returning def when the variable is unset, non-numeric,
+// or below 1.
+func QueryJobsFromEnv(def int) int {
+	if v := os.Getenv(QueryJobsEnvVar); v != "" {
+		if j, err := strconv.Atoi(v); err == nil && j >= 1 {
+			return j
+		}
+	}
+	return def
+}
+
+// ConfigFromEnv builds the default config, honoring ScaleEnvVar,
+// JobsEnvVar and QueryJobsEnvVar. Values below 1 (or non-numeric) are
+// rejected and the default kept.
 func ConfigFromEnv() Config {
 	cfg := Config{
 		SF:          DefaultSF,
 		Seed:        1997,
 		Jobs:        JobsFromEnv(DefaultJobs()),
+		QueryJobs:   QueryJobsFromEnv(0),
 		SnapshotDir: os.Getenv(SnapshotDirEnvVar),
 	}
 	if v := os.Getenv(ScaleEnvVar); v != "" {
@@ -236,6 +262,10 @@ type Runner struct {
 	// expID prefixes verbose log lines when the scheduler interleaves
 	// several experiments' output ("" outside the scheduler).
 	expID string
+	// jobsInUse is how many scheduler workers run concurrently with this
+	// view (0 or 1 outside RunMany). Intra-query parallelism divides by it
+	// so the two levels compose instead of multiplying.
+	jobsInUse int
 
 	shared *runnerState
 }
@@ -356,7 +386,28 @@ func (r *Runner) dataset(providers, avg int, cl derby.Clustering) (*derby.Datase
 	if err != nil {
 		return nil, err
 	}
-	return sn.Fork(), nil
+	d := sn.Fork()
+	d.DB.SetQueryJobs(r.queryJobs())
+	return d, nil
+}
+
+// queryJobs resolves the intra-query worker count for this runner view:
+// the configured (or engine-default) width, divided by the number of
+// scheduler workers running alongside so total goroutines stay near
+// Jobs×queryJobs. Worker counts never touch chunk decomposition, so every
+// reported number is identical at any resolution of this knob.
+func (r *Runner) queryJobs() int {
+	qj := r.Config.QueryJobs
+	if qj < 1 {
+		qj = engine.DefaultQueryJobs()
+	}
+	if r.jobsInUse > 1 {
+		qj /= r.jobsInUse
+	}
+	if qj < 1 {
+		qj = 1
+	}
+	return qj
 }
 
 // mutableDataset returns a fresh writable (copy-on-write) session over the
@@ -366,7 +417,9 @@ func (r *Runner) mutableDataset(providers, avg int, cl derby.Clustering) (*derby
 	if err != nil {
 		return nil, err
 	}
-	return sn.ForkMutable(), nil
+	d := sn.ForkMutable()
+	d.DB.SetQueryJobs(r.queryJobs())
+	return d, nil
 }
 
 // withDataset runs fn over a fresh read-only fork of the database.

@@ -61,7 +61,9 @@ func (r *Runner) RunMany(ids []string, jobs int, emit func(*Table) error) error 
 			defer wg.Done()
 			for i := range work {
 				e := exps[i]
-				t, err := e.Run(r.withExperiment(e.ID))
+				view := r.withExperiment(e.ID)
+				view.jobsInUse = jobs
+				t, err := e.Run(view)
 				if err != nil {
 					err = fmt.Errorf("%s: %w", e.ID, err)
 					stopOnce.Do(func() { close(stop) })

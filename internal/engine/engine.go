@@ -107,6 +107,13 @@ type Session struct {
 	roots         map[string]storage.Rid
 	relationships []*Relationship
 
+	// queryJobs is the intra-query worker count (0 = DefaultQueryJobs);
+	// chunkForks are the persistent per-chunk execution contexts RunChunks
+	// lazily creates — chunk i always runs on fork i, so warm-cache state
+	// evolves deterministically. See parallel.go.
+	queryJobs  int
+	chunkForks []*Session
+
 	// readOnly marks a session that shares frozen pages it must never
 	// mutate: the builder after Freeze, and every Snapshot.Fork. The guard
 	// runs before any shared buffer is touched — the storage layer's
@@ -168,6 +175,8 @@ func (db *Session) ColdRestart() {
 	db.Client.Shutdown()
 	db.Handles = object.NewTable(db.Meter, db.Client, db.Classes)
 	db.Meter.Reset()
+	// Chunk forks hold warm caches of their own; a cold system has none.
+	db.chunkForks = nil
 }
 
 // CreateExtent registers a class and creates its extent backed by the named

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treebench/internal/cache"
+	"treebench/internal/object"
+	"treebench/internal/sim"
+	"treebench/internal/txn"
+)
+
+// DefaultQueryChunks is the fan-out every partitionable operator decomposes
+// its work into. It is a property of the *query plan*, never of the machine:
+// chunk boundaries (and therefore every chunk's private meter readings) are a
+// pure function of the data, so the merged accounting is byte-identical
+// whether one goroutine services all eight chunks or eight service one each.
+// The worker count (QueryJobs) only decides how many chunks run at once.
+const DefaultQueryChunks = 8
+
+// MinChunkWork is the minimum estimated work (items scanned, weighted by
+// their per-item fan-out) a chunk must carry. Chunking a scan costs a few
+// page faults per chunk — a private B-tree descent, re-faulted boundary
+// pages — so tiny scans run as one chunk (the exact legacy sequential path)
+// and only scans big enough to amortize the overhead fan out. Like the
+// fan-out itself, the threshold is compared against data-derived quantities
+// only, never worker count, so chunk decomposition stays deterministic.
+const MinChunkWork = 4096
+
+// ChunksForWork returns the chunk fan-out for a scan of the given estimated
+// work units: one chunk per MinChunkWork, clamped to [1, DefaultQueryChunks].
+func ChunksForWork(units int64) int {
+	n := units / MinChunkWork
+	if n < 1 {
+		return 1
+	}
+	if n > DefaultQueryChunks {
+		return DefaultQueryChunks
+	}
+	return int(n)
+}
+
+// DefaultQueryJobs returns the default intra-query worker count:
+// min(NumCPU, 4). Query parallelism composes multiplicatively with the
+// experiment scheduler's -j workers, so its default is deliberately lower
+// than the scheduler's min(NumCPU, 8).
+func DefaultQueryJobs() int {
+	n := runtime.NumCPU()
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetQueryJobs sets how many goroutines service a query's chunks (n < 1
+// selects the default). It changes wall-clock time only: chunk decomposition
+// and per-chunk metering are independent of the worker count.
+func (db *Session) SetQueryJobs(n int) {
+	if n < 1 {
+		n = 0
+	}
+	db.queryJobs = n
+}
+
+// QueryJobs returns the effective intra-query worker count.
+func (db *Session) QueryJobs() int {
+	if db.queryJobs < 1 {
+		return DefaultQueryJobs()
+	}
+	return db.queryJobs
+}
+
+// PageRange is one contiguous run of a file's pages, [From, To) in file
+// order: the unit of a partitioned scan.
+type PageRange struct {
+	From, To int
+}
+
+// Partition splits the extent's file into at most n contiguous page ranges
+// of near-equal size. The split depends only on n and the file's page count
+// — never on worker count or CPU — so chunked accounting is deterministic.
+// At least one range is returned (possibly empty, for an empty file), and
+// the ranges cover every page exactly once.
+func (e *Extent) Partition(n int) []PageRange {
+	total := e.File.NumPages()
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	if n < 1 {
+		return []PageRange{{}}
+	}
+	out := make([]PageRange, n)
+	for i := 0; i < n; i++ {
+		out[i] = PageRange{From: total * i / n, To: total * (i + 1) / n}
+	}
+	return out
+}
+
+// ReadFork returns a read-only execution context over the same database:
+// shared catalog (classes, extents, indexes, roots, relationships) and
+// shared pages, private meter, caches, handle table and transaction state.
+// It is the fork-per-worker read path of chunked execution — each chunk
+// charges its private meter, and the results merge deterministically.
+func (db *Session) ReadFork() *Session {
+	meter := sim.NewMeter(db.Meter.Model)
+	meter.SetSlimHandles(db.Meter.SlimHandles())
+	srv, cli := cache.Hierarchy(db.Store.Disk, meter, db.Machine)
+	return &Session{
+		Store:         db.Store,
+		Meter:         meter,
+		Machine:       db.Machine,
+		Server:        srv,
+		Client:        cli,
+		Classes:       db.Classes,
+		Handles:       object.NewTable(meter, cli, db.Classes),
+		Txns:          txn.NewManager(meter, cli, db.Txns.Mode()),
+		extents:       db.extents,
+		indexes:       db.indexes,
+		nextIdx:       db.nextIdx,
+		roots:         db.roots,
+		relationships: db.relationships,
+		readOnly:      true,
+	}
+}
+
+// chunkFork returns the session's persistent execution context for chunk i,
+// creating it on first use. Chunk i always runs on fork i, so a fork's cache
+// state is a deterministic function of the session's own query history —
+// warm-mode sequences stay byte-identical at any worker count. ColdRestart
+// drops the forks along with the caches they hold.
+func (db *Session) chunkFork(i int) *Session {
+	for len(db.chunkForks) <= i {
+		db.chunkForks = append(db.chunkForks, nil)
+	}
+	if db.chunkForks[i] == nil {
+		db.chunkForks[i] = db.ReadFork()
+	}
+	return db.chunkForks[i]
+}
+
+// RunChunks executes fn once per chunk over up to QueryJobs goroutines and
+// merges the chunks' private meters into db.Meter in chunk-index order.
+//
+// With n == 1 fn runs directly on db itself — the degenerate case is the
+// legacy sequential path, bit for bit. With n > 1 each chunk runs on its
+// persistent read-fork (private meter and caches, shared pages), so nothing
+// about scheduling can leak into the accounting. Chunks are claimed from an
+// atomic counter in index order; completion order is irrelevant because the
+// merge walks forks[0..n-1].
+//
+// A session whose disk cannot serve concurrent readers (a copy-on-write
+// mutable fork faults base pages into a private overlay map) runs its chunks
+// on one goroutine — same chunks, same forks, same numbers, no races.
+//
+// On error, the error of the lowest-indexed failed chunk is returned, so the
+// reported failure is deterministic too.
+func (db *Session) RunChunks(n int, fn func(w *Session, chunk int) error) error {
+	if n <= 1 {
+		return fn(db, 0)
+	}
+	workers := db.QueryJobs()
+	if !db.Store.Disk.ConcurrentReads() {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	readAhead := db.Client.ReadAheadBatch()
+	slim := db.Meter.SlimHandles()
+	forks := make([]*Session, n)
+	for i := range forks {
+		f := db.chunkFork(i)
+		f.Meter.Reset()
+		f.Meter.SetSlimHandles(slim)
+		f.Client.SetReadAhead(readAhead)
+		forks[i] = f
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := range forks {
+			errs[i] = fn(forks[i], i)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					errs[i] = fn(forks[i], i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	meters := make([]*sim.Meter, n)
+	for i, f := range forks {
+		meters[i] = f.Meter
+	}
+	db.Meter.Merge(meters...)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -225,6 +225,10 @@ func indexOrErr(env *Env, extent, attr string) (*engine.Index, error) {
 // Only the provider index is usable; patients are reached through the
 // clients sets, randomly under class/random clustering and sequentially
 // under composition clustering.
+//
+// Parallelism: the provider key range is chunked; each chunk navigates its
+// providers' whole client sets, so every (p, pa) pair belongs to exactly one
+// chunk.
 func runNL(env *Env, q Query) (*Result, error) {
 	db := env.DB
 	ai, err := attrs(env)
@@ -235,44 +239,55 @@ func runNL(env *Env, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	meter := db.Meter
-	k1, k2 := q.K1, q.K2
+	k1 := q.K1
 	res := &Result{}
-	err = upinIdx.Tree.Scan(db.Client, 1, k2, func(e index.Entry) (bool, error) {
-		ph, err := db.Handles.Get(e.Rid)
-		if err != nil {
-			return false, err
-		}
-		defer db.Handles.Unref(ph)
-		nameV, err := db.Handles.Attr(ph, ai.provName)
-		if err != nil {
-			return false, err
-		}
-		clientsV, err := db.Handles.Attr(ph, ai.provClients)
-		if err != nil {
-			return false, err
-		}
-		return true, collection.Scan(db.Client, clientsV.Ref, func(prid storage.Rid) (bool, error) {
-			pa, err := db.Handles.Get(prid)
+	fanout := int64(1)
+	if env.NumParents > 0 && env.NumChildren > env.NumParents {
+		fanout = int64(env.NumChildren / env.NumParents)
+	}
+	ranges := chunkScan(1, q.K2, fanout)
+	parts := make([]*Result, len(ranges))
+	err = db.RunChunks(len(ranges), func(w *engine.Session, c int) error {
+		meter := w.Meter
+		part := &Result{}
+		parts[c] = part
+		return upinIdx.Tree.Scan(w.Client, ranges[c].Lo, ranges[c].Hi, func(e index.Entry) (bool, error) {
+			ph, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err
 			}
-			defer db.Handles.Unref(pa)
-			mrnV, err := db.Handles.Attr(pa, ai.patMrn)
+			defer w.Handles.Unref(ph)
+			nameV, err := w.Handles.Attr(ph, ai.provName)
 			if err != nil {
 				return false, err
 			}
-			meter.Compare()
-			if mrnV.Int < k1 {
-				ageV, err := db.Handles.Attr(pa, ai.patAge)
+			clientsV, err := w.Handles.Attr(ph, ai.provClients)
+			if err != nil {
+				return false, err
+			}
+			return true, collection.Scan(w.Client, clientsV.Ref, func(prid storage.Rid) (bool, error) {
+				pa, err := w.Handles.Get(prid)
 				if err != nil {
 					return false, err
 				}
-				emit(meter, res, nameV.Str, ageV.Int)
-			}
-			return true, nil
+				defer w.Handles.Unref(pa)
+				mrnV, err := w.Handles.Attr(pa, ai.patMrn)
+				if err != nil {
+					return false, err
+				}
+				meter.Compare()
+				if mrnV.Int < k1 {
+					ageV, err := w.Handles.Attr(pa, ai.patAge)
+					if err != nil {
+						return false, err
+					}
+					emit(meter, part, nameV.Str, ageV.Int)
+				}
+				return true, nil
+			})
 		})
 	})
+	sumTuples(res, parts)
 	return res, err
 }
 
@@ -284,6 +299,16 @@ func runNL(env *Env, q Query) (*Result, error) {
 //
 // The index rides on the large collection, but the upin condition may be
 // tested up to 3 (resp. 1000) times per provider.
+//
+// NOJOIN stays sequential deliberately. Its cost profile is dominated by
+// re-referencing the small provider set from every child — the client cache
+// turns all but the first deref of each provider page into hits. Chunking
+// would give each chunk a private cold cache and re-fault that working set
+// once per chunk, inflating the simulated cost several-fold and distorting
+// the paper's NOJOIN-vs-alternatives comparisons. The chunked operators
+// (NL, PHJ, CHJ, SMJ) partition work whose pages each chunk touches mostly
+// disjointly, where the duplication is a few boundary pages and B-tree
+// descents.
 func runNOJOIN(env *Env, q Query) (*Result, error) {
 	db := env.DB
 	ai, err := attrs(env)
@@ -350,6 +375,14 @@ type providerInfo struct {
 //	For all patients whose mrn < k1                          /* index scan */
 //	  get the provider information by probing the hash table
 //	  add f(p,pa) to the result
+//
+// Parallelism: the build partitions the provider key range, each chunk
+// hashing its subrange into a private table charged against its share of the
+// memory budget (keys are uniform, so a chunk outgrows its share exactly
+// when the whole table outgrows the budget). The partitions then merge into
+// one read-only table and the probe fans out over patient key chunks with no
+// merge step — each probe chunk's region is preset to the full table size so
+// its resident fraction matches the sequential probe.
 func runPHJ(env *Env, q Query) (*Result, error) {
 	db := env.DB
 	ai, err := attrs(env)
@@ -364,60 +397,92 @@ func runPHJ(env *Env, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	meter := db.Meter
-	k1, k2 := q.K1, q.K2
 	res := &Result{}
 
-	region := sim.NewRegion(meter, db.Machine.HashBudget)
-	table := make(map[storage.Rid]providerInfo)
 	// Build: index scan over providers in upin (physical) order; the hash
 	// function scatters the writes across the table.
-	err = upinIdx.Tree.Scan(db.Client, 1, k2, func(e index.Entry) (bool, error) {
-		ph, err := db.Handles.Get(e.Rid)
-		if err != nil {
-			return false, err
-		}
-		nameV, err := db.Handles.Attr(ph, ai.provName)
-		if err != nil {
-			db.Handles.Unref(ph)
-			return false, err
-		}
-		db.Handles.Unref(ph)
-		meter.HashInsert()
-		region.Grow(parentEntryBytes)
-		region.RandomWrite()
-		table[e.Rid] = providerInfo{name: nameV.Str}
-		return true, nil
+	buildRanges := chunkScan(1, q.K2, 1)
+	nb := len(buildRanges)
+	buildBudget := db.Machine.HashBudget / int64(nb)
+	tables := make([]map[storage.Rid]providerInfo, nb)
+	sizes := make([]int64, nb)
+	err = db.RunChunks(nb, func(w *engine.Session, c int) error {
+		meter := w.Meter
+		region := sim.NewRegion(meter, buildBudget)
+		table := make(map[storage.Rid]providerInfo)
+		tables[c] = table
+		err := upinIdx.Tree.Scan(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, func(e index.Entry) (bool, error) {
+			ph, err := w.Handles.Get(e.Rid)
+			if err != nil {
+				return false, err
+			}
+			nameV, err := w.Handles.Attr(ph, ai.provName)
+			if err != nil {
+				w.Handles.Unref(ph)
+				return false, err
+			}
+			w.Handles.Unref(ph)
+			meter.HashInsert()
+			region.Grow(parentEntryBytes)
+			region.RandomWrite()
+			table[e.Rid] = providerInfo{name: nameV.Str}
+			return true, nil
+		})
+		sizes[c] = region.Size()
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.HashTableBytes = region.Size()
-	res.Swapped = region.Swapping()
+	var totalSize int64
+	for _, s := range sizes {
+		totalSize += s
+	}
+	// Reported with whole-table semantics: the sum of the partitions is the
+	// one table the sequential build would have grown.
+	res.HashTableBytes = totalSize
+	res.Swapped = totalSize > db.Machine.HashBudget
+	table := tables[0]
+	for _, t := range tables[1:] {
+		for rid, info := range t {
+			table[rid] = info
+		}
+	}
 
-	// Probe: sequential scan of selected patients, random probes.
-	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
-		pa, err := db.Handles.Get(e.Rid)
-		if err != nil {
-			return false, err
-		}
-		defer db.Handles.Unref(pa)
-		pcpV, err := db.Handles.Attr(pa, ai.patPcp)
-		if err != nil {
-			return false, err
-		}
-		meter.HashProbe()
-		region.RandomRead()
-		info, ok := table[pcpV.Ref]
-		if ok {
-			ageV, err := db.Handles.Attr(pa, ai.patAge)
+	// Probe: sequential scan of selected patients, random probes. The merged
+	// table is read-only from here; chunks share it freely.
+	probeRanges := chunkScan(1, q.K1, 1)
+	parts := make([]*Result, len(probeRanges))
+	err = db.RunChunks(len(probeRanges), func(w *engine.Session, c int) error {
+		meter := w.Meter
+		part := &Result{}
+		parts[c] = part
+		region := sim.NewRegion(meter, db.Machine.HashBudget)
+		region.Grow(totalSize)
+		return mrnIdx.Tree.Scan(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, func(e index.Entry) (bool, error) {
+			pa, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err
 			}
-			emit(meter, res, info.name, ageV.Int)
-		}
-		return true, nil
+			defer w.Handles.Unref(pa)
+			pcpV, err := w.Handles.Attr(pa, ai.patPcp)
+			if err != nil {
+				return false, err
+			}
+			meter.HashProbe()
+			region.RandomRead()
+			info, ok := table[pcpV.Ref]
+			if ok {
+				ageV, err := w.Handles.Attr(pa, ai.patAge)
+				if err != nil {
+					return false, err
+				}
+				emit(meter, part, info.name, ageV.Int)
+			}
+			return true, nil
+		})
 	})
+	sumTuples(res, parts)
 	return res, err
 }
 
@@ -429,6 +494,14 @@ func runPHJ(env *Env, q Query) (*Result, error) {
 //	For all providers whose upin < k2                        /* index scan */
 //	  get the corresponding patient information in the hash table
 //	  add f(p,pa) to the result
+//
+// Parallelism mirrors runPHJ with the roles reversed: the build partitions
+// the patient key range into private group tables (each charged against its
+// share of the memory budget; a provider whose patients span chunks costs
+// one group entry per chunk it appears in), the partitions merge by
+// concatenating each provider's ages in chunk order — which is mrn order,
+// exactly what the sequential build produces — and the probe fans out over
+// provider key chunks against the merged read-only table.
 func runCHJ(env *Env, q Query) (*Result, error) {
 	db := env.DB
 	ai, err := attrs(env)
@@ -443,68 +516,101 @@ func runCHJ(env *Env, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	meter := db.Meter
-	k1, k2 := q.K1, q.K2
 	res := &Result{}
 
-	region := sim.NewRegion(meter, db.Machine.HashBudget)
-	table := make(map[storage.Rid][]int64) // provider rid → patient ages
 	// Build: one group entry per provider present, one child entry per
 	// selected patient; the groups' chunks scatter as patients arrive in
 	// mrn (not provider) order.
-	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
-		pa, err := db.Handles.Get(e.Rid)
-		if err != nil {
-			return false, err
-		}
-		defer db.Handles.Unref(pa)
-		pcpV, err := db.Handles.Attr(pa, ai.patPcp)
-		if err != nil {
-			return false, err
-		}
-		ageV, err := db.Handles.Attr(pa, ai.patAge)
-		if err != nil {
-			return false, err
-		}
-		meter.HashInsert()
-		group, ok := table[pcpV.Ref]
-		if !ok {
-			region.Grow(groupEntryBytes)
-		}
-		region.Grow(childEntryBytes)
-		region.RandomWrite()
-		table[pcpV.Ref] = append(group, ageV.Int)
-		return true, nil
+	buildRanges := chunkScan(1, q.K1, 1)
+	nb := len(buildRanges)
+	buildBudget := db.Machine.HashBudget / int64(nb)
+	tables := make([]map[storage.Rid][]int64, nb)
+	err = db.RunChunks(nb, func(w *engine.Session, c int) error {
+		meter := w.Meter
+		region := sim.NewRegion(meter, buildBudget)
+		table := make(map[storage.Rid][]int64) // provider rid → patient ages
+		tables[c] = table
+		err := mrnIdx.Tree.Scan(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, func(e index.Entry) (bool, error) {
+			pa, err := w.Handles.Get(e.Rid)
+			if err != nil {
+				return false, err
+			}
+			defer w.Handles.Unref(pa)
+			pcpV, err := w.Handles.Attr(pa, ai.patPcp)
+			if err != nil {
+				return false, err
+			}
+			ageV, err := w.Handles.Attr(pa, ai.patAge)
+			if err != nil {
+				return false, err
+			}
+			meter.HashInsert()
+			group, ok := table[pcpV.Ref]
+			if !ok {
+				region.Grow(groupEntryBytes)
+			}
+			region.Grow(childEntryBytes)
+			region.RandomWrite()
+			table[pcpV.Ref] = append(group, ageV.Int)
+			return true, nil
+		})
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.HashTableBytes = region.Size()
-	res.Swapped = region.Swapping()
+	table := tables[0]
+	for _, t := range tables[1:] {
+		for rid, ages := range t {
+			table[rid] = append(table[rid], ages...)
+		}
+	}
+	// Report with whole-table semantics: one group entry per distinct
+	// provider, as the sequential build would have grown it. The per-chunk
+	// regions above over-count a group entry for each extra chunk a
+	// provider's patients span; that duplication stays inside the chunks'
+	// swap-fault arithmetic and out of the reported size.
+	var children int64
+	for _, ages := range table {
+		children += int64(len(ages))
+	}
+	totalSize := int64(len(table))*groupEntryBytes + children*childEntryBytes
+	res.HashTableBytes = totalSize
+	res.Swapped = totalSize > db.Machine.HashBudget
 
 	// Probe: sequential scan of selected providers; each group's chunks
 	// are scattered across the (possibly swapped) table.
-	err = upinIdx.Tree.Scan(db.Client, 1, k2, func(e index.Entry) (bool, error) {
-		meter.HashProbe()
-		region.RandomRead()
-		group := table[e.Rid]
-		if len(group) == 0 {
-			return true, nil
-		}
-		ph, err := db.Handles.Get(e.Rid)
-		if err != nil {
-			return false, err
-		}
-		defer db.Handles.Unref(ph)
-		nameV, err := db.Handles.Attr(ph, ai.provName)
-		if err != nil {
-			return false, err
-		}
-		for _, age := range group {
+	probeRanges := chunkScan(1, q.K2, 1)
+	parts := make([]*Result, len(probeRanges))
+	err = db.RunChunks(len(probeRanges), func(w *engine.Session, c int) error {
+		meter := w.Meter
+		part := &Result{}
+		parts[c] = part
+		region := sim.NewRegion(meter, db.Machine.HashBudget)
+		region.Grow(totalSize)
+		return upinIdx.Tree.Scan(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, func(e index.Entry) (bool, error) {
+			meter.HashProbe()
 			region.RandomRead()
-			emit(meter, res, nameV.Str, age)
-		}
-		return true, nil
+			group := table[e.Rid]
+			if len(group) == 0 {
+				return true, nil
+			}
+			ph, err := w.Handles.Get(e.Rid)
+			if err != nil {
+				return false, err
+			}
+			defer w.Handles.Unref(ph)
+			nameV, err := w.Handles.Attr(ph, ai.provName)
+			if err != nil {
+				return false, err
+			}
+			for _, age := range group {
+				region.RandomRead()
+				emit(meter, part, nameV.Str, age)
+			}
+			return true, nil
+		})
 	})
+	sumTuples(res, parts)
 	return res, err
 }

@@ -1,0 +1,66 @@
+package join
+
+import (
+	"sync"
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+// TestParallelJoinRaceSharedSnapshot stacks both concurrency layers over
+// one frozen page image (run with -race): eight sessions fork from the
+// same snapshot and run concurrently, half executing the chunked
+// eight-worker PHJ and half the deliberately sequential NOJOIN. Every
+// run's tuples, simulated elapsed time, and counters must match a solo
+// run of the same algorithm on its own fork.
+func TestParallelJoinRaceSharedSnapshot(t *testing.T) {
+	d, err := derby.Generate(derby.DefaultConfig(100, 100, derby.ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runOnFork := func(algo Algorithm) (*Result, error) {
+		f := sn.Fork()
+		f.DB.SetQueryJobs(8)
+		env := EnvForDerby(f)
+		env.DB.ColdRestart()
+		return Run(env, algo, env.BySelectivity(90, 90))
+	}
+
+	want := map[Algorithm]*Result{}
+	for _, algo := range []Algorithm{PHJ, NOJOIN} {
+		res, err := runOnFork(algo)
+		if err != nil {
+			t.Fatalf("solo %s: %v", algo, err)
+		}
+		want[algo] = res
+	}
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		algo := PHJ
+		if i%2 == 1 {
+			algo = NOJOIN
+		}
+		wg.Add(1)
+		go func(i int, algo Algorithm) {
+			defer wg.Done()
+			res, err := runOnFork(algo)
+			if err != nil {
+				t.Errorf("session %d %s: %v", i, algo, err)
+				return
+			}
+			w := want[algo]
+			if res.Tuples != w.Tuples || res.Elapsed != w.Elapsed || res.Counters != w.Counters {
+				t.Errorf("session %d %s: diverged from solo run\n got %d tuples %v %+v\nwant %d tuples %v %+v",
+					i, algo, res.Tuples, res.Elapsed, res.Counters, w.Tuples, w.Elapsed, w.Counters)
+			}
+		}(i, algo)
+	}
+	wg.Wait()
+}

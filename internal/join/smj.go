@@ -3,6 +3,7 @@ package join
 import (
 	"sort"
 
+	"treebench/internal/engine"
 	"treebench/internal/index"
 	"treebench/internal/storage"
 )
@@ -54,55 +55,75 @@ func runSMJ(env *Env, q Query) (*Result, error) {
 		return true
 	}
 
-	// Build the provider run.
+	// Build the provider run: the key range is chunked, and concatenating
+	// the chunks' partial runs in chunk order reproduces the sequential
+	// scan's key order exactly (the sort below re-orders on rid anyway).
 	type provTuple struct {
 		rid  storage.Rid
 		name string
 	}
-	var provRun []provTuple
-	err = upinIdx.Tree.Scan(db.Client, 1, k2, func(e index.Entry) (bool, error) {
-		ph, err := db.Handles.Get(e.Rid)
-		if err != nil {
-			return false, err
-		}
-		nameV, err := db.Handles.Attr(ph, ai.provName)
-		db.Handles.Unref(ph)
-		if err != nil {
-			return false, err
-		}
-		provRun = append(provRun, provTuple{e.Rid, nameV.Str})
-		return true, nil
+	provRanges := chunkScan(1, k2, 1)
+	provParts := make([][]provTuple, len(provRanges))
+	err = db.RunChunks(len(provRanges), func(w *engine.Session, c int) error {
+		return upinIdx.Tree.Scan(w.Client, provRanges[c].Lo, provRanges[c].Hi, func(e index.Entry) (bool, error) {
+			ph, err := w.Handles.Get(e.Rid)
+			if err != nil {
+				return false, err
+			}
+			nameV, err := w.Handles.Attr(ph, ai.provName)
+			w.Handles.Unref(ph)
+			if err != nil {
+				return false, err
+			}
+			provParts[c] = append(provParts[c], provTuple{e.Rid, nameV.Str})
+			return true, nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
+	var provRun []provTuple
+	for _, p := range provParts {
+		provRun = append(provRun, p...)
+	}
 
-	// Build the patient run.
+	// Build the patient run, chunked the same way.
 	type patTuple struct {
 		pcp storage.Rid
 		age int64
 	}
-	var patRun []patTuple
-	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
-		pa, err := db.Handles.Get(e.Rid)
-		if err != nil {
-			return false, err
-		}
-		defer db.Handles.Unref(pa)
-		pcpV, err := db.Handles.Attr(pa, ai.patPcp)
-		if err != nil {
-			return false, err
-		}
-		ageV, err := db.Handles.Attr(pa, ai.patAge)
-		if err != nil {
-			return false, err
-		}
-		patRun = append(patRun, patTuple{pcpV.Ref, ageV.Int})
-		return true, nil
+	patRanges := chunkScan(1, k1, 1)
+	patParts := make([][]patTuple, len(patRanges))
+	err = db.RunChunks(len(patRanges), func(w *engine.Session, c int) error {
+		return mrnIdx.Tree.Scan(w.Client, patRanges[c].Lo, patRanges[c].Hi, func(e index.Entry) (bool, error) {
+			pa, err := w.Handles.Get(e.Rid)
+			if err != nil {
+				return false, err
+			}
+			defer w.Handles.Unref(pa)
+			pcpV, err := w.Handles.Attr(pa, ai.patPcp)
+			if err != nil {
+				return false, err
+			}
+			ageV, err := w.Handles.Attr(pa, ai.patAge)
+			if err != nil {
+				return false, err
+			}
+			patParts[c] = append(patParts[c], patTuple{pcpV.Ref, ageV.Int})
+			return true, nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
+	var patRun []patTuple
+	for _, p := range patParts {
+		patRun = append(patRun, p...)
+	}
+
+	// From here on the sort, spill and merge are the single sequential tail
+	// of the pipeline, charged to the session meter after the chunk meters
+	// merged into it.
 
 	// Sort both runs on the provider id. Sorting charges n·log n compares
 	// plus the external pass when a run outgrows memory.

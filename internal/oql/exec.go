@@ -65,29 +65,40 @@ func (pl *Planner) Execute(p *Plan) (*Result, error) {
 			Filters:  p.Filters,
 			Projects: p.Projects,
 		}
-		var aggs []*aggState
-		var sample []Row
-		truncated := false
+		// Per-chunk accumulators: a full scan may fan out over the extent's
+		// ScanChunks page ranges, so every chunk folds into private state and
+		// the states merge in chunk-index order afterwards — which reproduces
+		// the sequential scan's file order exactly. Index scans deliver every
+		// row as chunk 0.
+		nc := len(selection.ScanChunks(p.Extent))
+		var aggChunks [][]*aggState
+		var sampleChunks [][]Row
+		truncChunks := make([]bool, nc)
 		switch {
 		case hasAgg(p.Aggregates):
-			aggs = make([]*aggState, len(p.Aggregates))
-			for i, a := range p.Aggregates {
-				aggs[i] = &aggState{agg: a, label: string(a) + "(" + p.Projects[i] + ")"}
+			aggChunks = make([][]*aggState, nc)
+			for c := range aggChunks {
+				states := make([]*aggState, len(p.Aggregates))
+				for i, a := range p.Aggregates {
+					states[i] = &aggState{agg: a, label: string(a) + "(" + p.Projects[i] + ")"}
+				}
+				aggChunks[c] = states
 			}
-			req.OnRow = func(vals []object.Value) error {
-				for i, st := range aggs {
+			req.OnRowChunk = func(chunk int, vals []object.Value) error {
+				for i, st := range aggChunks[chunk] {
 					st.add(vals[i].Int)
 				}
 				return nil
 			}
 		case len(p.Projects) > 0:
-			req.OnRow = func(vals []object.Value) error {
-				if len(sample) < SampleLimit {
+			sampleChunks = make([][]Row, nc)
+			req.OnRowChunk = func(chunk int, vals []object.Value) error {
+				if len(sampleChunks[chunk]) < SampleLimit {
 					row := make(Row, len(vals))
 					copy(row, vals)
-					sample = append(sample, row)
+					sampleChunks[chunk] = append(sampleChunks[chunk], row)
 				} else {
-					truncated = true
+					truncChunks[chunk] = true
 				}
 				return nil
 			}
@@ -95,6 +106,28 @@ func (pl *Planner) Execute(p *Plan) (*Result, error) {
 		sres, err := selection.Run(pl.DB, req, p.Access)
 		if err != nil {
 			return nil, err
+		}
+		var aggs []*aggState
+		if aggChunks != nil {
+			aggs = aggChunks[0]
+			for _, states := range aggChunks[1:] {
+				for i, st := range states {
+					aggs[i].merge(st)
+				}
+			}
+		}
+		var sample []Row
+		truncated := false
+		for c, part := range sampleChunks {
+			// Every chunk keeps its first SampleLimit rows, which is a
+			// superset of its contribution to the global first SampleLimit,
+			// so the concatenation's prefix matches the sequential sample.
+			sample = append(sample, part...)
+			truncated = truncated || truncChunks[c]
+		}
+		if len(sample) > SampleLimit {
+			sample = sample[:SampleLimit]
+			truncated = true
 		}
 		res := &Result{
 			Plan: p, Rows: sres.Rows,
@@ -141,13 +174,10 @@ func (pl *Planner) Execute(p *Plan) (*Result, error) {
 	}
 }
 
-// Query parses, plans and executes OQL text in one call.
+// Query parses, plans and executes OQL text in one call, going through the
+// plan cache when the planner has one.
 func (pl *Planner) Query(src string) (*Result, error) {
-	ast, err := Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := pl.Plan(ast)
+	plan, err := pl.PlanSource(src)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +212,23 @@ func (s *aggState) add(v int64) {
 	}
 	s.n++
 	s.sum += v
+}
+
+// merge folds another chunk's state for the same aggregate into s. All five
+// aggregates are commutative, but merging in chunk-index order keeps even
+// intermediate states deterministic.
+func (s *aggState) merge(o *aggState) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
 }
 
 func (s *aggState) result() AggResult {

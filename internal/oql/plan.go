@@ -120,6 +120,10 @@ type Planner struct {
 	// EnableHHJ adds the hybrid-hash extension to the cost-based search
 	// space (off by default: the paper's O2 did not have it).
 	EnableHHJ bool
+	// Cache, when set, memoizes compiled plans by query source (see
+	// PlanSource). Plans depend on the database's statistics, so a cache
+	// must not outlive or be shared across databases.
+	Cache *PlanCache
 }
 
 // Plan analyzes and optimizes q.

@@ -106,8 +106,26 @@ type Request struct {
 	Filters  []Pred
 	Projects []string
 	// OnRow, when set, receives the projected values of every matching
-	// object (the executor's hook for aggregation).
+	// object (the executor's hook for aggregation). A request with only
+	// OnRow runs full scans sequentially, so rows arrive in file order.
 	OnRow func(vals []object.Value) error
+	// OnRowChunk is the parallel-aware row callback: rows arrive tagged
+	// with the scan chunk that produced them (chunks cover the file in
+	// order, so concatenating per-chunk buffers in chunk-index order
+	// reproduces the sequential row order). It may be called from multiple
+	// goroutines, one per chunk; keep state per chunk. When set, it
+	// replaces OnRow and full scans may fan out over ScanChunks(extent)
+	// page ranges.
+	OnRowChunk func(chunk int, vals []object.Value) error
+}
+
+// ScanChunks returns the page-range decomposition a parallel full scan of
+// the extent uses: a pure function of the extent's size, so per-chunk
+// accounting is identical at any worker count. Executors size their
+// per-chunk state from its length; a single range means the scan runs
+// sequentially.
+func ScanChunks(e *engine.Extent) []engine.PageRange {
+	return e.Partition(engine.ChunksForWork(int64(e.Count)))
 }
 
 // Result reports one run.
@@ -184,10 +202,12 @@ func match(db *engine.Database, h *object.Handle, req Request, whereIdx int, fil
 }
 
 // project reads the projected attributes, charges the result append, and
-// hands the values to the row callback if one is set.
-func project(db *engine.Database, h *object.Handle, req Request, projIdxs []int) error {
+// hands the values to the row callback if one is set. chunk identifies the
+// scan chunk that produced the row (0 on every sequential path).
+func project(db *engine.Database, h *object.Handle, req Request, projIdxs []int, chunk int) error {
+	want := req.OnRowChunk != nil || req.OnRow != nil
 	var vals []object.Value
-	if req.OnRow != nil {
+	if want {
 		vals = make([]object.Value, 0, len(projIdxs))
 	}
 	for _, pi := range projIdxs {
@@ -195,12 +215,15 @@ func project(db *engine.Database, h *object.Handle, req Request, projIdxs []int)
 		if err != nil {
 			return err
 		}
-		if req.OnRow != nil {
+		if want {
 			vals = append(vals, v)
 		}
 	}
 	if len(projIdxs) > 0 {
 		db.Meter.ResultAppend()
+	}
+	if req.OnRowChunk != nil {
+		return req.OnRowChunk(chunk, vals)
 	}
 	if req.OnRow != nil {
 		return req.OnRow(vals)
@@ -218,32 +241,46 @@ func project(db *engine.Database, h *object.Handle, req Request, projIdxs []int)
 //
 // The scan creates and unreferences a Handle for every object in the
 // collection — the §4.3 cost the sorted index scan avoids.
+//
+// With a chunk-aware row callback (or none at all) the scan fans out over
+// the ScanChunks page ranges; a request carrying only the order-sensitive
+// OnRow runs the whole file as one chunk.
 func runFullScan(db *engine.Database, req Request, whereIdx int, filterIdxs, projIdxs []int) (*Result, error) {
+	ranges := ScanChunks(req.Extent)
+	if len(ranges) > 1 && req.OnRow != nil && req.OnRowChunk == nil {
+		ranges = []engine.PageRange{{From: 0, To: req.Extent.File.NumPages()}}
+	}
 	res := &Result{Access: FullScan}
-	err := req.Extent.File.Scan(db.Client, func(rid storage.Rid, rec []byte) (bool, error) {
-		if !db.Classes.Belongs(object.ClassID(rec), req.Extent.Class) {
-			return true, nil // shared file: other classes' objects
-		}
-		db.Meter.ScanNext()
-		h, err := db.Handles.Get(rid)
-		if err != nil {
-			return false, err
-		}
-		defer db.Handles.Unref(h)
-		ok, err := match(db, h, req, whereIdx, filterIdxs)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			if err := project(db, h, req, projIdxs); err != nil {
+	rows := make([]int, len(ranges))
+	err := db.RunChunks(len(ranges), func(w *engine.Session, c int) error {
+		return req.Extent.File.ScanRange(w.Client, ranges[c].From, ranges[c].To, func(rid storage.Rid, rec []byte) (bool, error) {
+			if !w.Classes.Belongs(object.ClassID(rec), req.Extent.Class) {
+				return true, nil // shared file: other classes' objects
+			}
+			w.Meter.ScanNext()
+			h, err := w.Handles.Get(rid)
+			if err != nil {
 				return false, err
 			}
-			res.Rows++
-		}
-		return true, nil
+			defer w.Handles.Unref(h)
+			ok, err := match(w, h, req, whereIdx, filterIdxs)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				if err := project(w, h, req, projIdxs, c); err != nil {
+					return false, err
+				}
+				rows[c]++
+			}
+			return true, nil
+		})
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, r := range rows {
+		res.Rows += r
 	}
 	res.Elapsed = db.Meter.Elapsed()
 	res.Counters = db.Meter.Snapshot()
@@ -334,7 +371,7 @@ func runIndexScan(db *engine.Database, req Request, whereIdx int, filterIdxs, pr
 			}
 		}
 		if ok {
-			if err := project(db, h, req, projIdxs); err != nil {
+			if err := project(db, h, req, projIdxs, 0); err != nil {
 				db.Handles.Unref(h)
 				return nil, err
 			}

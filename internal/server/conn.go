@@ -150,7 +150,13 @@ func (c *conn) session() (*session.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.sess = session.New(sn.Fork().DB)
+	// The plan cache is per session: plans hold references into the
+	// session's database fork. Hit/miss deltas roll up into the server's
+	// metrics after each query.
+	c.sess = session.NewWith(sn.Fork().DB, session.Config{
+		QueryJobs: c.srv.cfg.QueryJobs,
+		PlanCache: oql.NewPlanCache(0),
+	})
 	c.warmed = false
 	return c.sess, nil
 }
@@ -200,7 +206,15 @@ func (c *conn) query(q *wire.Query) bool {
 		} else {
 			sess.Planner.Strategy = oql.CostBased
 		}
+		var planHits0, planMisses0 int64
+		if pc := sess.Planner.Cache; pc != nil {
+			planHits0, planMisses0 = pc.Stats()
+		}
 		res, err := sess.Execute(q.Stmt)
+		if pc := sess.Planner.Cache; pc != nil {
+			h, m := pc.Stats()
+			s.metrics.recordPlanCache(h-planHits0, m-planMisses0)
+		}
 		if err != nil {
 			s.metrics.record(time.Since(start), 0, true)
 			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}

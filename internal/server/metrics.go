@@ -21,6 +21,8 @@ type metrics struct {
 	rejected    int64
 	timedOut    int64
 	sessions    int64
+	planHits    int64   // plan-cache hits across all sessions
+	planMisses  int64   // plan-cache misses (compiles) across all sessions
 	wallUs      []int64 // wall latency per served query, microseconds
 	simMs       []int64 // simulated latency per served query, milliseconds
 }
@@ -49,6 +51,15 @@ func (m *metrics) timeout() {
 	m.mu.Unlock()
 }
 
+// recordPlanCache rolls one query's plan-cache hit/miss delta into the
+// server totals.
+func (m *metrics) recordPlanCache(hits, misses int64) {
+	m.mu.Lock()
+	m.planHits += hits
+	m.planMisses += misses
+	m.mu.Unlock()
+}
+
 // record notes one completed query execution.
 func (m *metrics) record(wall, simulated time.Duration, queryErr bool) {
 	m.mu.Lock()
@@ -68,17 +79,19 @@ func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, sn
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &wire.Stats{
-		Served:         m.served,
-		QueryErrors:    m.queryErrors,
-		Rejected:       m.rejected,
-		TimedOut:       m.timedOut,
-		ActiveSessions: m.sessions,
-		QueueDepth:     queueDepth,
-		Sessions:       sessions,
-		BusySessions:   busySessions,
-		SnapshotPages:  snapshotPages,
-		SnapshotBytes:  snapshotBytes,
-		SnapshotSource: snapshotSource,
+		Served:          m.served,
+		QueryErrors:     m.queryErrors,
+		Rejected:        m.rejected,
+		TimedOut:        m.timedOut,
+		ActiveSessions:  m.sessions,
+		QueueDepth:      queueDepth,
+		Sessions:        sessions,
+		BusySessions:    busySessions,
+		SnapshotPages:   snapshotPages,
+		SnapshotBytes:   snapshotBytes,
+		SnapshotSource:  snapshotSource,
+		PlanCacheHits:   m.planHits,
+		PlanCacheMisses: m.planMisses,
 	}
 	s.WallP50us, s.WallP95us, s.WallP99us, s.WallHist = summarize(m.wallUs)
 	s.SimP50ms, s.SimP95ms, s.SimP99ms, s.SimHist = summarize(m.simMs)

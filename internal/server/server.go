@@ -68,6 +68,11 @@ type Config struct {
 	// MaxQueue bounds queries waiting for an admission slot; beyond it
 	// queries are rejected immediately with CodeBusy. 0 means no queue.
 	MaxQueue int
+	// QueryJobs is the intra-query worker count each session runs with
+	// (0 means the engine default, min(NumCPU, 4)). Parallelism inside a
+	// query changes wall-clock latency only; every simulated number stays
+	// byte-identical.
+	QueryJobs int
 	// QueryTimeout is each query's wall-clock budget, covering queue wait
 	// and execution; 0 means 30 seconds.
 	QueryTimeout time.Duration

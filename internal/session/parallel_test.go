@@ -1,0 +1,146 @@
+package session
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"treebench/internal/derby"
+	"treebench/internal/sim"
+)
+
+// parallelStatements exercise every chunked read path: a full-extent
+// aggregate (per-chunk aggregate states merged in chunk order), a sampled
+// row scan (per-chunk sample buffers concatenated in chunk order), and the
+// paper's tree query at high selectivity (chunked hash build and probe).
+var parallelStatements = []string{
+	"select count(*) from pa in Patients where pa.age < 200",
+	"select sum(pa.mrn) from pa in Patients where pa.age < 150",
+	"select pa.mrn, pa.age from pa in Patients where pa.age < 3",
+	"select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 18000 and p.upin < 180",
+}
+
+// renderAtJobs forks a fresh session from sn, pins its intra-query worker
+// count, and returns the concatenated rendered results plus the summed
+// meter counters across statements.
+func renderAtJobs(t *testing.T, sn *derby.Snapshot, jobs int) (string, sim.Counters) {
+	t.Helper()
+	f := sn.Fork()
+	f.DB.SetQueryJobs(jobs)
+	s := New(f.DB)
+	var out strings.Builder
+	var total sim.Counters
+	for _, stmt := range parallelStatements {
+		res, err := s.Execute(stmt)
+		if err != nil {
+			t.Fatalf("qj=%d %s: %v", jobs, stmt, err)
+		}
+		WriteResult(&out, ToWire(res, 10), 10)
+		total.Add(res.Counters)
+	}
+	return out.String(), total
+}
+
+// TestQueryParallelDeterministic is the tentpole invariant: the rendered
+// output (plan, rows, aggregates, simulated elapsed time, Figure 3
+// counters) and the raw meter totals must be byte-identical whether a
+// query runs on one worker or eight. Chunk decomposition depends only on
+// the data, each chunk meters privately, and merges happen in chunk-index
+// order — so real parallelism must be invisible to every simulated number.
+func TestQueryParallelDeterministic(t *testing.T) {
+	d, err := derby.Generate(derby.DefaultConfig(200, 100, derby.ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantN := renderAtJobs(t, sn, 1)
+	if want == "" {
+		t.Fatal("sequential run produced no output")
+	}
+	for _, jobs := range []int{2, 8} {
+		got, gotN := renderAtJobs(t, sn, jobs)
+		if gotN != wantN {
+			t.Errorf("qj=%d: counters diverged\n got %+v\nwant %+v", jobs, gotN, wantN)
+		}
+		if got != want {
+			t.Errorf("qj=%d: rendered output diverged from qj=1\n%s", jobs, firstDiff(got, want))
+		}
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "line " + itoa(i+1) + ":\n got: " + g[i] + "\nwant: " + w[i]
+		}
+	}
+	return "outputs differ in length: got " + itoa(len(g)) + " lines, want " + itoa(len(w))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestConcurrentParallelSessionsMatchSolo runs eight 8-worker sessions
+// concurrently over one shared snapshot (run with -race): every session
+// must render the same bytes as a solo run. This is the composition gate —
+// inter-session concurrency (the server's fork-per-connection model)
+// stacked on intra-query worker pools, all over one frozen page image.
+func TestConcurrentParallelSessionsMatchSolo(t *testing.T) {
+	d, err := derby.Generate(derby.DefaultConfig(100, 100, derby.ClassCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, _ := renderAtJobs(t, sn, 8)
+	if solo == "" {
+		t.Fatal("solo run produced no output")
+	}
+	const sessions = 8
+	outs := make([]string, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := sn.Fork()
+			f.DB.SetQueryJobs(8)
+			s := New(f.DB)
+			var out strings.Builder
+			for _, stmt := range parallelStatements {
+				res, err := s.Execute(stmt)
+				if err != nil {
+					t.Errorf("session %d: %s: %v", i, stmt, err)
+					return
+				}
+				WriteResult(&out, ToWire(res, 10), 10)
+			}
+			outs[i] = out.String()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range outs {
+		if got != solo {
+			t.Errorf("session %d diverged from solo run\n%s", i, firstDiff(got, solo))
+		}
+	}
+}

@@ -27,6 +27,18 @@ type Session struct {
 	Cold bool
 }
 
+// Config carries the optional knobs of a session.
+type Config struct {
+	// QueryJobs sets the database's intra-query worker count (0 keeps the
+	// engine default, min(NumCPU, 4)). Worker count changes wall-clock
+	// speed only, never a simulated number.
+	QueryJobs int
+	// PlanCache, when non-nil, memoizes compiled plans by query source for
+	// the session's planner. Plans hold references into the session's
+	// database fork, so a cache must not be shared across forks.
+	PlanCache *oql.PlanCache
+}
+
 // New returns a cold session over db using the cost-based strategy.
 //
 // New primes every index's equi-depth histogram and then cold-restarts, so
@@ -38,6 +50,11 @@ type Session struct {
 // guarantee (a fresh server replica must answer exactly like a fresh local
 // shell, however many queries either has served).
 func New(db *engine.Database) *Session {
+	return NewWith(db, Config{})
+}
+
+// NewWith is New with explicit configuration.
+func NewWith(db *engine.Database, cfg Config) *Session {
 	for _, name := range db.Extents() {
 		if e, err := db.Extent(name); err == nil {
 			for _, ix := range e.Indexes() {
@@ -46,9 +63,12 @@ func New(db *engine.Database) *Session {
 		}
 	}
 	db.ColdRestart()
+	if cfg.QueryJobs != 0 {
+		db.SetQueryJobs(cfg.QueryJobs)
+	}
 	return &Session{
 		DB:      db,
-		Planner: &oql.Planner{DB: db, Strategy: oql.CostBased},
+		Planner: &oql.Planner{DB: db, Strategy: oql.CostBased, Cache: cfg.PlanCache},
 		Cold:    true,
 	}
 }

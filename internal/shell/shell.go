@@ -33,8 +33,14 @@ type Shell struct {
 
 // New returns a shell over db using the cost-based strategy.
 func New(db *engine.Database) *Shell {
+	return NewWith(db, session.Config{})
+}
+
+// NewWith is New with explicit session configuration (intra-query worker
+// count, plan cache).
+func NewWith(db *engine.Database, cfg session.Config) *Shell {
 	return &Shell{
-		Session: session.New(db),
+		Session: session.NewWith(db, cfg),
 		Prompt:  "oql> ",
 		MaxRows: 10,
 	}

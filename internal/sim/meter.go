@@ -36,6 +36,32 @@ type Counters struct {
 	SwapWrites int64
 }
 
+// Add folds o into c field by field. Addition is commutative, so the sum
+// over any set of worker counters is independent of merge order.
+func (c *Counters) Add(o Counters) {
+	c.DiskReads += o.DiskReads
+	c.DiskWrites += o.DiskWrites
+	c.RPCs += o.RPCs
+	c.RPCBytes += o.RPCBytes
+	c.ServerHits += o.ServerHits
+	c.ServerToClient += o.ServerToClient
+	c.ClientHits += o.ClientHits
+	c.ClientFaults += o.ClientFaults
+	c.LogPages += o.LogPages
+	c.Locks += o.Locks
+	c.ScanNexts += o.ScanNexts
+	c.HandleGets += o.HandleGets
+	c.HandleUnrefs += o.HandleUnrefs
+	c.AttrGets += o.AttrGets
+	c.Compares += o.Compares
+	c.HashInserts += o.HashInserts
+	c.HashProbes += o.HashProbes
+	c.ResultAppends += o.ResultAppends
+	c.SortedElems += o.SortedElems
+	c.SwapReads += o.SwapReads
+	c.SwapWrites += o.SwapWrites
+}
+
 // ClientMissRate returns the client-cache miss percentage, 0 if no accesses.
 func (c *Counters) ClientMissRate() float64 {
 	total := c.ClientHits + c.ClientFaults
@@ -86,6 +112,20 @@ func (m *Meter) Reset() {
 
 // Snapshot returns a copy of the current counters.
 func (m *Meter) Snapshot() Counters { return m.N }
+
+// Merge folds worker meters into m: counters sum and the simulated clock
+// advances by each worker's elapsed time. The simulated machine is the
+// paper's uniprocessor, so merged elapsed time is the total work done —
+// parallel chunk execution changes wall-clock time, never simulated time.
+// Every field operation is commutative, so the totals are independent of
+// merge order; callers still merge in chunk-index order by convention so
+// that any future order-sensitive accounting stays deterministic.
+func (m *Meter) Merge(workers ...*Meter) {
+	for _, w := range workers {
+		m.N.Add(w.N)
+		m.Clock.Advance(w.Clock.Now())
+	}
+}
 
 func (m *Meter) DiskRead() {
 	m.N.DiskReads++

@@ -158,6 +158,13 @@ func NewDisk(capacityBytes int64) *Disk {
 	return d
 }
 
+// ConcurrentReads reports whether Read is safe to call from multiple
+// goroutines with no writer: true for an exclusive disk (reads index an
+// append-only slice) and a read-only fork (reads go to the immutable Base,
+// whose lazy faulting is lock-free); false for a mutable fork, whose reads
+// populate the private copy-on-write overlay map.
+func (d *Disk) ConcurrentReads() bool { return d.overlay == nil }
+
 // baseLen returns the number of pages owned by the shared base.
 func (d *Disk) baseLen() int {
 	if d.base == nil {

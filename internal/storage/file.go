@@ -246,18 +246,31 @@ type Prefetcher interface {
 // prefetching, upcoming file pages are batched into single RPCs. Scanning
 // stops early if fn returns false or an error.
 func (f *File) Scan(p Pager, fn func(rid Rid, rec []byte) (bool, error)) error {
+	return f.ScanRange(p, 0, len(f.Pages), fn)
+}
+
+// ScanRange scans the contiguous page run Pages[from:to) exactly like Scan
+// scans the whole file: records in file order, holes and forwarding stubs
+// skipped, prefetch batches restarted at the range boundary. It is the read
+// path of one partitioned-scan chunk; chunking a file into disjoint ranges
+// visits every live record exactly once.
+func (f *File) ScanRange(p Pager, from, to int, fn func(rid Rid, rec []byte) (bool, error)) error {
+	if from < 0 || to > len(f.Pages) || from > to {
+		return fmt.Errorf("storage: scan range [%d,%d) outside file of %d pages", from, to, len(f.Pages))
+	}
+	pages := f.Pages[from:to]
 	pf, _ := p.(Prefetcher)
 	batch := 1
 	if pf != nil {
 		batch = pf.ReadAheadBatch()
 	}
-	for pi, id := range f.Pages {
+	for pi, id := range pages {
 		if batch > 1 && pi%batch == 0 {
 			hi := pi + batch
-			if hi > len(f.Pages) {
-				hi = len(f.Pages)
+			if hi > len(pages) {
+				hi = len(pages)
 			}
-			pf.Prefetch(f.Pages[pi:hi])
+			pf.Prefetch(pages[pi:hi])
 		}
 		buf, err := p.Read(id)
 		if err != nil {

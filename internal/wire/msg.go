@@ -188,16 +188,18 @@ func DecodeError(b []byte) (*Error, error) {
 // shell's .stats habit): admission and lifecycle counters plus wall and
 // simulated latency summaries with their equi-depth histograms.
 type Stats struct {
-	Served         int64 // queries executed to completion (ok or query error)
-	QueryErrors    int64 // of Served, how many failed to parse/plan/execute
-	Rejected       int64 // admission-control rejections (queue full)
-	TimedOut       int64 // queries cut off by the per-query budget
-	ActiveSessions int64 // connected sessions right now
-	QueueDepth     int64 // queries waiting for an admission slot right now
-	Sessions       int64 // concurrently executing sessions the server is sized for
-	BusySessions   int64 // queries executing right now
-	SnapshotPages  int64 // pages in the shared database snapshot (0 until generated)
-	SnapshotBytes  int64 // bytes of the shared database snapshot (0 until generated)
+	Served          int64 // queries executed to completion (ok or query error)
+	QueryErrors     int64 // of Served, how many failed to parse/plan/execute
+	Rejected        int64 // admission-control rejections (queue full)
+	TimedOut        int64 // queries cut off by the per-query budget
+	ActiveSessions  int64 // connected sessions right now
+	QueueDepth      int64 // queries waiting for an admission slot right now
+	Sessions        int64 // concurrently executing sessions the server is sized for
+	BusySessions    int64 // queries executing right now
+	SnapshotPages   int64 // pages in the shared database snapshot (0 until generated)
+	SnapshotBytes   int64 // bytes of the shared database snapshot (0 until generated)
+	PlanCacheHits   int64 // plan-cache hits across all sessions
+	PlanCacheMisses int64 // plan-cache misses (compiles) across all sessions
 
 	// Wall-clock latency percentiles, in microseconds.
 	WallP50us, WallP95us, WallP99us int64
@@ -222,6 +224,7 @@ func (m *Stats) Encode() []byte {
 		m.WallP50us, m.WallP95us, m.WallP99us,
 		m.SimP50ms, m.SimP95ms, m.SimP99ms,
 		m.SnapshotPages, m.SnapshotBytes,
+		m.PlanCacheHits, m.PlanCacheMisses,
 	} {
 		e.i64(v)
 	}
@@ -241,6 +244,7 @@ func DecodeStats(b []byte) (*Stats, error) {
 		&m.WallP50us, &m.WallP95us, &m.WallP99us,
 		&m.SimP50ms, &m.SimP95ms, &m.SimP99ms,
 		&m.SnapshotPages, &m.SnapshotBytes,
+		&m.PlanCacheHits, &m.PlanCacheMisses,
 	} {
 		*p = d.i64()
 	}

@@ -21,7 +21,8 @@ import (
 
 // Version is the protocol version exchanged in the Hello handshake.
 // v2 added Stats.SnapshotSource (snapshot provenance).
-const Version uint32 = 2
+// v3 added Stats.PlanCacheHits/PlanCacheMisses (plan-cache hit rate).
+const Version uint32 = 3
 
 // MaxPayload bounds a frame's payload; larger length prefixes are rejected
 // before any allocation (a malformed or hostile peer cannot make us

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Measures what intra-query parallelism buys in wall time: the identical
+# cold PHJ tree query (90% children, 90% parents) at one worker vs four,
+# over one shared frozen snapshot. Writes BENCH_query.json with both ns/op
+# figures and their ratio, and fails if four workers buy less than
+# MIN_SPEEDUP× (default 1.5) — enforced only on machines with at least
+# four CPUs, since wall-clock speedup cannot exceed the CPU count; the
+# simulated numbers are asserted identical inside the benchmark itself at
+# every worker count.
+#
+#   BENCH_SHORT=1      use the -short database (200×200 instead of 2000×100)
+#   BENCHTIME=10x      iterations per benchmark (default 5x)
+#   MIN_SPEEDUP=2.0    gate to enforce (default 1.5)
+#   BENCH_QUERY_OUT=f  output path (default BENCH_query.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_QUERY_OUT:-BENCH_query.json}
+MIN_SPEEDUP=${MIN_SPEEDUP:-1.5}
+BENCHTIME=${BENCHTIME:-5x}
+SHORT_FLAG=""
+CONFIG="2000x100"
+if [ "${BENCH_SHORT:-}" = "1" ]; then
+  SHORT_FLAG="-short"
+  CONFIG="200x200"
+fi
+
+CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+RAW=$(go test $SHORT_FLAG -run '^$' -bench 'BenchmarkQuery(Sequential|Parallel)$' \
+  -benchtime "$BENCHTIME" .)
+echo "$RAW"
+
+SEQ=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQuerySequential/ {print $3}')
+PAR=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQueryParallel/ {print $3}')
+if [ -z "$SEQ" ] || [ -z "$PAR" ]; then
+  echo "bench-query: could not parse benchmark output" >&2
+  exit 1
+fi
+SPEEDUP=$(awk -v s="$SEQ" -v p="$PAR" 'BEGIN { printf "%.2f", s / p }')
+
+ENFORCED=false
+if [ "$CPUS" -ge 4 ]; then
+  ENFORCED=true
+fi
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "cold PHJ tree query, 90% children x 90% parents, class clustering",
+  "config": "$CONFIG",
+  "sequential_ns_op": $SEQ,
+  "parallel_ns_op": $PAR,
+  "parallel_jobs": 4,
+  "speedup": $SPEEDUP,
+  "cpus": $CPUS,
+  "min_speedup": $MIN_SPEEDUP,
+  "gate_enforced": $ENFORCED
+}
+EOF
+echo "bench-query: sequential ${SEQ} ns/op, 4 workers ${PAR} ns/op -> ${SPEEDUP}x on ${CPUS} CPUs (wrote $OUT)"
+
+if [ "$ENFORCED" = true ]; then
+  awk -v sp="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp + 0 >= min + 0) }' || {
+    echo "bench-query: speedup ${SPEEDUP}x below required ${MIN_SPEEDUP}x" >&2
+    exit 1
+  }
+else
+  echo "bench-query: ${CPUS} CPUs < 4, speedup gate recorded but not enforced"
+fi

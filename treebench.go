@@ -344,6 +344,11 @@ func DefaultJobs() int { return core.DefaultJobs() }
 // back to def when unset or invalid.
 func JobsFromEnv(def int) int { return core.JobsFromEnv(def) }
 
+// QueryJobsFromEnv resolves an intra-query worker count from
+// TREEBENCH_QUERY_JOBS, falling back to def. Worker counts change
+// wall-clock speed only; simulated results are identical at any setting.
+func QueryJobsFromEnv(def int) int { return core.QueryJobsFromEnv(def) }
+
 // ExperimentIDs lists the reproducible tables and figures.
 func ExperimentIDs() []string { return core.ExperimentIDs() }
 
