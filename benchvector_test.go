@@ -1,0 +1,52 @@
+package treebench
+
+// benchvector_test.go measures what vectorized execution buys in wall
+// time — the only clock it is allowed to touch. BenchmarkQueryScalar and
+// BenchmarkQueryBatched run the identical cold PHJ tree query (90%
+// children, 90% parents) on ONE worker over one shared frozen snapshot;
+// the only difference is the batch size (1 = the legacy scalar operators
+// vs the engine default, 1024), so ns/op(Scalar) / ns/op(Batched) is the
+// vectorization speedup — CPU-count independent, since both runs are
+// single-threaded. scripts/bench_vector.sh turns the ratio into
+// BENCH_vector.json and CI fails below 1.3× on any runner, 1-CPU
+// included. Simulated results are asserted identical across both
+// benchmarks (and against the parallelism benchmarks next door) on every
+// iteration.
+
+import (
+	"testing"
+
+	"treebench/internal/join"
+)
+
+// benchQueryAtBatch is benchQueryAtJobs with the batch size pinned too.
+func benchQueryAtBatch(b *testing.B, batch int) {
+	sn := querySnapshot(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := sn.Fork()
+		f.DB.SetQueryJobs(1)
+		f.DB.SetBatch(batch)
+		env := join.EnvForDerby(f)
+		env.DB.ColdRestart()
+		res, err := join.Run(env, join.PHJ, env.BySelectivity(90, 90))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		bqMu.Lock()
+		if bqTuples == -1 {
+			bqTuples, bqElapsedN = res.Tuples, int64(res.Elapsed)
+		} else if res.Tuples != bqTuples || int64(res.Elapsed) != bqElapsedN {
+			bqMu.Unlock()
+			b.Fatalf("batch=%d: simulated result moved: %d tuples %v, want %d tuples %v",
+				batch, res.Tuples, res.Elapsed, bqTuples, bqElapsedN)
+		}
+		bqMu.Unlock()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkQueryScalar(b *testing.B)  { benchQueryAtBatch(b, 1) }
+func BenchmarkQueryBatched(b *testing.B) { benchQueryAtBatch(b, 0) } // 0 = engine default, 1024

@@ -161,6 +161,10 @@ func main() {
 				fmt.Printf("server plan cache: %d hits / %d lookups (%.0f%%)\n",
 					st.PlanCacheHits, total, 100*float64(st.PlanCacheHits)/float64(total))
 			}
+			if st.PlansCost+st.PlansHeuristic > 0 {
+				fmt.Printf("server plans: %d cost-based, %d heuristic, batch %d, last operator %s\n",
+					st.PlansCost, st.PlansHeuristic, st.BatchSize, st.LastOperator)
+			}
 			fmt.Printf("server wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
 				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",

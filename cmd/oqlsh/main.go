@@ -51,6 +51,7 @@ func main() {
 		script     = flag.String("f", "", "run this script file and exit")
 		warm       = flag.Bool("warm", false, "keep caches warm between statements (like the .warm command)")
 		qjobs      = flag.Int("qj", 0, "intra-query workers (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); output identical at any setting)")
+		batch      = flag.Int("batch", 0, "vectorized-execution batch size (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; output identical at any setting)")
 	)
 	flag.Parse()
 	scripted := *stmts != "" || *script != ""
@@ -85,8 +86,13 @@ func main() {
 	if qj == 0 {
 		qj = treebench.QueryJobsFromEnv(0)
 	}
+	b := *batch
+	if b == 0 {
+		b = treebench.BatchFromEnv(0)
+	}
 	sh := shell.NewWith(d.DB, session.Config{
 		QueryJobs: qj,
+		Batch:     b,
 		PlanCache: oql.NewPlanCache(0),
 	})
 	if strings.HasPrefix(*strategy, "heur") {

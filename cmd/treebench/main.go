@@ -36,6 +36,7 @@ func main() {
 		sf      = flag.Int("sf", 0, "scale factor (default from TREEBENCH_SF or 10; 1 = paper scale)")
 		jobs    = flag.Int("j", 0, "concurrent experiments (default from TREEBENCH_JOBS or min(NumCPU, 8))")
 		qjobs   = flag.Int("qj", 0, "intra-query workers per experiment (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); results identical at any setting)")
+		batch   = flag.Int("batch", 0, "vectorized-execution batch size (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; results identical at any setting)")
 		seed    = flag.Int("seed", 1997, "data generator seed")
 		verbose = flag.Bool("v", false, "stream per-run progress")
 		hhj     = flag.Bool("hhj", false, "include the hybrid-hash extension in the join experiments")
@@ -74,6 +75,12 @@ func main() {
 			fatal(fmt.Errorf("-qj %d: must be at least 1", *qjobs))
 		}
 		cfg.QueryJobs = *qjobs
+	}
+	if *batch != 0 {
+		if *batch < 1 {
+			fatal(fmt.Errorf("-batch %d: must be at least 1", *batch))
+		}
+		cfg.Batch = *batch
 	}
 	cfg.Seed = int32(*seed)
 	cfg.EnableHHJ = *hhj

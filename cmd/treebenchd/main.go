@@ -6,9 +6,13 @@
 // Usage:
 //
 //	treebenchd [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
-//	           [-clustering class] [-seed 1997] [-sessions N]
+//	           [-clustering class] [-seed 1997] [-sessions N] [-qj N] [-batch N]
 //	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s]
 //	           [-snapshot-dir DIR] [-save-snapshot] [-v]
+//
+// -sessions, -qj and -batch fall back to the TREEBENCH_JOBS,
+// TREEBENCH_QUERY_JOBS and TREEBENCH_BATCH environment variables when left
+// at 0; all three change wall-clock speed only, never a reported number.
 //
 // The daemon obtains the configured database once — loading it from the
 // snapshot cache when -snapshot-dir (or TREEBENCH_SNAPSHOT_DIR) has a
@@ -57,6 +61,7 @@ func main() {
 		maxConc    = flag.Int("max-concurrent", 0, "admission limit on executing queries (default sessions)")
 		maxQueue   = flag.Int("max-queue", 64, "queries allowed to wait for admission before rejection")
 		qjobs      = flag.Int("qj", 0, "intra-query workers per session (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); results identical at any setting)")
+		batch      = flag.Int("batch", 0, "vectorized-execution batch size per session (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; results identical at any setting)")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget (queue wait + execution)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
 		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory for instant warm boots (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
@@ -104,6 +109,10 @@ func main() {
 	if qj == 0 {
 		qj = core.QueryJobsFromEnv(0)
 	}
+	b := *batch
+	if b == 0 {
+		b = core.BatchFromEnv(0)
+	}
 	scfg := server.Config{
 		Source:        snapshotSource(cfg, *snapDir, *saveSnap),
 		Label:         label,
@@ -111,6 +120,7 @@ func main() {
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
 		QueryJobs:     qj,
+		Batch:         b,
 		QueryTimeout:  *timeout,
 	}
 	if *verbose {

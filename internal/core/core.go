@@ -44,6 +44,11 @@ type Config struct {
 	// roughly Jobs×QueryJobs goroutines, never Jobs·QueryJobs each.
 	// Simulated numbers are identical at any setting.
 	QueryJobs int
+	// Batch sets the vectorized-execution batch size. Zero means the
+	// engine default (1024); 1 runs the legacy scalar operators. Like
+	// QueryJobs it changes wall-clock time only — simulated numbers are
+	// identical at any setting.
+	Batch int
 	// SnapshotDir, when non-empty, backs dataset generation with the
 	// content-addressed snapshot cache at that directory: each distinct
 	// parameter set is generated at most once ever, then loaded. Results
@@ -70,6 +75,11 @@ const JobsEnvVar = "TREEBENCH_JOBS"
 // (TREEBENCH_QUERY_JOBS=1 forces sequential chunk execution; results are
 // byte-identical either way).
 const QueryJobsEnvVar = "TREEBENCH_QUERY_JOBS"
+
+// BatchEnvVar overrides the vectorized-execution batch size
+// (TREEBENCH_BATCH=1 forces the legacy scalar operators; results are
+// byte-identical at any setting).
+const BatchEnvVar = "TREEBENCH_BATCH"
 
 // SnapshotDirEnvVar enables the on-disk snapshot cache
 // (TREEBENCH_SNAPSHOT_DIR=~/.cache/treebench). persist.DefaultDir reads
@@ -111,15 +121,28 @@ func QueryJobsFromEnv(def int) int {
 	return def
 }
 
+// BatchFromEnv resolves a vectorized-execution batch size from
+// BatchEnvVar, returning def when the variable is unset, non-numeric, or
+// below 1.
+func BatchFromEnv(def int) int {
+	if v := os.Getenv(BatchEnvVar); v != "" {
+		if b, err := strconv.Atoi(v); err == nil && b >= 1 {
+			return b
+		}
+	}
+	return def
+}
+
 // ConfigFromEnv builds the default config, honoring ScaleEnvVar,
-// JobsEnvVar and QueryJobsEnvVar. Values below 1 (or non-numeric) are
-// rejected and the default kept.
+// JobsEnvVar, QueryJobsEnvVar and BatchEnvVar. Values below 1 (or
+// non-numeric) are rejected and the default kept.
 func ConfigFromEnv() Config {
 	cfg := Config{
 		SF:          DefaultSF,
 		Seed:        1997,
 		Jobs:        JobsFromEnv(DefaultJobs()),
 		QueryJobs:   QueryJobsFromEnv(0),
+		Batch:       BatchFromEnv(0),
 		SnapshotDir: os.Getenv(SnapshotDirEnvVar),
 	}
 	if v := os.Getenv(ScaleEnvVar); v != "" {
@@ -388,6 +411,7 @@ func (r *Runner) dataset(providers, avg int, cl derby.Clustering) (*derby.Datase
 	}
 	d := sn.Fork()
 	d.DB.SetQueryJobs(r.queryJobs())
+	d.DB.SetBatch(r.Config.Batch)
 	return d, nil
 }
 
@@ -419,6 +443,7 @@ func (r *Runner) mutableDataset(providers, avg int, cl derby.Clustering) (*derby
 	}
 	d := sn.ForkMutable()
 	d.DB.SetQueryJobs(r.queryJobs())
+	d.DB.SetBatch(r.Config.Batch)
 	return d, nil
 }
 

@@ -114,6 +114,12 @@ type Session struct {
 	queryJobs  int
 	chunkForks []*Session
 
+	// batch is the vectorized-execution batch size (0 = DefaultBatch,
+	// 1 = the legacy scalar path kept as the differential-testing
+	// oracle). Like queryJobs it shapes wall-clock only — simulated
+	// accounting is independent of it — and it survives ColdRestart.
+	batch int
+
 	// readOnly marks a session that shares frozen pages it must never
 	// mutate: the builder after Freeze, and every Snapshot.Fork. The guard
 	// runs before any shared buffer is touched — the storage layer's

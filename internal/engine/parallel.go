@@ -74,6 +74,31 @@ func (db *Session) QueryJobs() int {
 	return db.queryJobs
 }
 
+// DefaultBatch is the default vectorized-execution batch size: big enough
+// to amortize per-batch costs (one meter merge, one dispatch) down to
+// noise, small enough that a batch's value columns stay cache-resident.
+const DefaultBatch = 1024
+
+// SetBatch sets the vectorized-execution batch size (n < 1 selects the
+// default; 1 runs the legacy one-object-at-a-time operators, kept as the
+// differential-testing oracle). Like SetQueryJobs it changes wall-clock
+// time only: simulated counters, tables, and meters are byte-identical at
+// every batch size.
+func (db *Session) SetBatch(n int) {
+	if n < 1 {
+		n = 0
+	}
+	db.batch = n
+}
+
+// Batch returns the effective vectorized-execution batch size.
+func (db *Session) Batch() int {
+	if db.batch < 1 {
+		return DefaultBatch
+	}
+	return db.batch
+}
+
 // PageRange is one contiguous run of a file's pages, [From, To) in file
 // order: the unit of a partitioned scan.
 type PageRange struct {
@@ -126,6 +151,7 @@ func (db *Session) ReadFork() *Session {
 		nextIdx:       db.nextIdx,
 		roots:         db.roots,
 		relationships: db.relationships,
+		batch:         db.batch,
 		readOnly:      true,
 	}
 }
@@ -180,6 +206,7 @@ func (db *Session) RunChunks(n int, fn func(w *Session, chunk int) error) error 
 		f.Meter.Reset()
 		f.Meter.SetSlimHandles(slim)
 		f.Client.SetReadAhead(readAhead)
+		f.batch = db.batch
 		forks[i] = f
 	}
 	errs := make([]error, n)

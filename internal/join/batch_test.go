@@ -1,0 +1,52 @@
+package join
+
+import (
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+// TestBatchedJoinsMatchScalar pins the vectorization invariant on every
+// join algorithm: running with any batch size must reproduce the scalar
+// run's tuples, simulated elapsed time, Figure 3 counters, hash-table
+// accounting and swap verdict exactly. Algorithms without a batched path
+// (NOJOIN, VNOJOIN, HHJ) ride along as a no-regression check.
+func TestBatchedJoinsMatchScalar(t *testing.T) {
+	env, _ := envFor(t, 40, 8, derby.ClassCluster)
+	algos := append(Algorithms(), SMJ, VNOJOIN, HHJ)
+	for _, sel := range [][2]int{{10, 10}, {90, 90}} {
+		q := env.BySelectivity(sel[0], sel[1])
+		for _, algo := range algos {
+			env.DB.SetBatch(1)
+			env.DB.ColdRestart()
+			want, err := Run(env, algo, q)
+			if err != nil {
+				t.Fatalf("%s %+v scalar: %v", algo, q, err)
+			}
+			for _, batch := range []int{7, 1024} {
+				env.DB.SetBatch(batch)
+				env.DB.ColdRestart()
+				got, err := Run(env, algo, q)
+				if err != nil {
+					t.Fatalf("%s %+v batch=%d: %v", algo, q, batch, err)
+				}
+				if got.Tuples != want.Tuples {
+					t.Errorf("%s %+v batch=%d: %d tuples, want %d", algo, q, batch, got.Tuples, want.Tuples)
+				}
+				if got.Elapsed != want.Elapsed {
+					t.Errorf("%s %+v batch=%d: elapsed %v, want %v", algo, q, batch, got.Elapsed, want.Elapsed)
+				}
+				if got.Counters != want.Counters {
+					t.Errorf("%s %+v batch=%d: counters diverged\n got %+v\nwant %+v", algo, q, batch, got.Counters, want.Counters)
+				}
+				if got.HashTableBytes != want.HashTableBytes {
+					t.Errorf("%s %+v batch=%d: table %d bytes, want %d", algo, q, batch, got.HashTableBytes, want.HashTableBytes)
+				}
+				if got.Swapped != want.Swapped {
+					t.Errorf("%s %+v batch=%d: swapped %v, want %v", algo, q, batch, got.Swapped, want.Swapped)
+				}
+			}
+		}
+	}
+	env.DB.SetBatch(0)
+}

@@ -230,6 +230,9 @@ func indexOrErr(env *Env, extent, attr string) (*engine.Index, error) {
 // providers' whole client sets, so every (p, pa) pair belongs to exactly one
 // chunk.
 func runNL(env *Env, q Query) (*Result, error) {
+	if env.DB.Batch() > 1 {
+		return runNLBatched(env, q)
+	}
 	db := env.DB
 	ai, err := attrs(env)
 	if err != nil {
@@ -384,6 +387,9 @@ type providerInfo struct {
 // merge step — each probe chunk's region is preset to the full table size so
 // its resident fraction matches the sequential probe.
 func runPHJ(env *Env, q Query) (*Result, error) {
+	if env.DB.Batch() > 1 {
+		return runPHJBatched(env, q)
+	}
 	db := env.DB
 	ai, err := attrs(env)
 	if err != nil {
@@ -503,6 +509,9 @@ func runPHJ(env *Env, q Query) (*Result, error) {
 // exactly what the sequential build produces — and the probe fans out over
 // provider key chunks against the merged read-only table.
 func runCHJ(env *Env, q Query) (*Result, error) {
+	if env.DB.Batch() > 1 {
+		return runCHJBatched(env, q)
+	}
 	db := env.DB
 	ai, err := attrs(env)
 	if err != nil {

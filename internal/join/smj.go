@@ -8,6 +8,22 @@ import (
 	"treebench/internal/storage"
 )
 
+// The (provider-id, payload) sort-run tuples and their accounted widths.
+const (
+	provTupleBytes = 8 + 16 // rid + name
+	patTupleBytes  = 8 + 4  // pcp rid + age
+)
+
+type provTuple struct {
+	rid  storage.Rid
+	name string
+}
+
+type patTuple struct {
+	pcp storage.Rid
+	age int64
+}
+
 // runSMJ is the sort-based pointer join the paper tried first and dropped:
 // "We started testing sort-based algorithms but they proved to be worse
 // than hash-based ones and we dropped them" (§5.1). It is implemented here
@@ -18,6 +34,9 @@ import (
 // tuples are written out and read back once, sequentially (charged as
 // temp-file I/O), before merging.
 func runSMJ(env *Env, q Query) (*Result, error) {
+	if env.DB.Batch() > 1 {
+		return runSMJBatched(env, q)
+	}
 	db := env.DB
 	ai, err := attrs(env)
 	if err != nil {
@@ -31,37 +50,12 @@ func runSMJ(env *Env, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	meter := db.Meter
 	k1, k2 := q.K1, q.K2
 	res := &Result{}
-
-	const provTupleBytes = 8 + 16 // rid + name
-	const patTupleBytes = 8 + 4   // pcp rid + age
-
-	// spillPass charges one external-sort pass (write + read back) for a
-	// run of n tuples when it exceeds the budget.
-	spillPass := func(n int, tupleBytes int) bool {
-		bytes := int64(n) * int64(tupleBytes)
-		if bytes <= db.Machine.HashBudget {
-			return false
-		}
-		pages := (bytes + storage.PageSize - 1) / storage.PageSize
-		for i := int64(0); i < pages; i++ {
-			meter.DiskWrite()
-		}
-		for i := int64(0); i < pages; i++ {
-			meter.DiskRead()
-		}
-		return true
-	}
 
 	// Build the provider run: the key range is chunked, and concatenating
 	// the chunks' partial runs in chunk order reproduces the sequential
 	// scan's key order exactly (the sort below re-orders on rid anyway).
-	type provTuple struct {
-		rid  storage.Rid
-		name string
-	}
 	provRanges := chunkScan(1, k2, 1)
 	provParts := make([][]provTuple, len(provRanges))
 	err = db.RunChunks(len(provRanges), func(w *engine.Session, c int) error {
@@ -88,10 +82,6 @@ func runSMJ(env *Env, q Query) (*Result, error) {
 	}
 
 	// Build the patient run, chunked the same way.
-	type patTuple struct {
-		pcp storage.Rid
-		age int64
-	}
 	patRanges := chunkScan(1, k1, 1)
 	patParts := make([][]patTuple, len(patRanges))
 	err = db.RunChunks(len(patRanges), func(w *engine.Session, c int) error {
@@ -121,9 +111,32 @@ func runSMJ(env *Env, q Query) (*Result, error) {
 		patRun = append(patRun, p...)
 	}
 
-	// From here on the sort, spill and merge are the single sequential tail
-	// of the pipeline, charged to the session meter after the chunk meters
-	// merged into it.
+	smjMerge(db, res, provRun, patRun)
+	return res, nil
+}
+
+// smjMerge is the single sequential tail of the SMJ pipeline — sort, spill
+// and merge — charged to the session meter after the chunk meters merged
+// into it. It is shared verbatim by the scalar and batched run formations.
+func smjMerge(db *engine.Database, res *Result, provRun []provTuple, patRun []patTuple) {
+	meter := db.Meter
+
+	// spillPass charges one external-sort pass (write + read back) for a
+	// run of n tuples when it exceeds the budget.
+	spillPass := func(n int, tupleBytes int) bool {
+		bytes := int64(n) * int64(tupleBytes)
+		if bytes <= db.Machine.HashBudget {
+			return false
+		}
+		pages := (bytes + storage.PageSize - 1) / storage.PageSize
+		for i := int64(0); i < pages; i++ {
+			meter.DiskWrite()
+		}
+		for i := int64(0); i < pages; i++ {
+			meter.DiskRead()
+		}
+		return true
+	}
 
 	// Sort both runs on the provider id. Sorting charges n·log n compares
 	// plus the external pass when a run outgrows memory.
@@ -148,7 +161,6 @@ func runSMJ(env *Env, q Query) (*Result, error) {
 			emit(meter, res, provRun[pi].name, pt.age)
 		}
 	}
-	return res, nil
 }
 
 // SMJMemory reports the bytes the two sort runs occupy for the given

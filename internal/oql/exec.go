@@ -90,6 +90,18 @@ func (pl *Planner) Execute(p *Plan) (*Result, error) {
 				}
 				return nil
 			}
+			// Vectorized delivery: fold each batch column-at-a-time into
+			// the chunk's states — same rows, same order, one call per
+			// batch instead of one per row.
+			req.OnBatch = func(chunk int, cols [][]object.Value, n int) error {
+				for i, st := range aggChunks[chunk] {
+					col := cols[i]
+					for r := 0; r < n; r++ {
+						st.add(col[r].Int)
+					}
+				}
+				return nil
+			}
 		case len(p.Projects) > 0:
 			sampleChunks = make([][]Row, nc)
 			req.OnRowChunk = func(chunk int, vals []object.Value) error {
@@ -99,6 +111,22 @@ func (pl *Planner) Execute(p *Plan) (*Result, error) {
 					sampleChunks[chunk] = append(sampleChunks[chunk], row)
 				} else {
 					truncChunks[chunk] = true
+				}
+				return nil
+			}
+			// Vectorized delivery: append a batch's rows (transposed from
+			// its value columns) up to the per-chunk cap in one call.
+			req.OnBatch = func(chunk int, cols [][]object.Value, n int) error {
+				for r := 0; r < n; r++ {
+					if len(sampleChunks[chunk]) >= SampleLimit {
+						truncChunks[chunk] = true
+						return nil
+					}
+					row := make(Row, len(cols))
+					for j := range cols {
+						row[j] = cols[j][r]
+					}
+					sampleChunks[chunk] = append(sampleChunks[chunk], row)
 				}
 				return nil
 			}

@@ -1,0 +1,49 @@
+package selection
+
+import (
+	"testing"
+)
+
+// TestSequentialBulkScanCostIdentical pins satellite invariant: the bulk
+// (batched) path through the *sequential* full-scan loop — one chunk, one
+// worker — must charge exactly what the one-handle-at-a-time loop charged:
+// same Figure 3 counters, same simulated elapsed time, same rows. The
+// batched scan materializes whole record batches from the extent pages and
+// merges one amortized charge per batch, which only reorders additions.
+func TestSequentialBulkScanCostIdentical(t *testing.T) {
+	d, db := dataset(t)
+	db.SetQueryJobs(1) // sequential: the full scan runs as a single chunk
+	n := d.NumPatients
+	for _, pct := range []int{1, 50, 90} {
+		k := int64(n - n*pct/100)
+		req := Request{Extent: d.Patients, Where: Pred{Attr: "num", Op: Gt, K: k}, Projects: []string{"age"}}
+		for _, access := range []Access{FullScan, IndexScan, SortedIndexScan} {
+			db.SetBatch(1)
+			db.ColdRestart()
+			want, err := Run(db, req, access)
+			if err != nil {
+				t.Fatalf("%s scalar: %v", access, err)
+			}
+			db.SetBatch(1024)
+			db.ColdRestart()
+			got, err := Run(db, req, access)
+			if err != nil {
+				t.Fatalf("%s batched: %v", access, err)
+			}
+			if got.Rows != want.Rows {
+				t.Errorf("%s at %d%%: %d rows batched, %d scalar", access, pct, got.Rows, want.Rows)
+			}
+			if got.Elapsed != want.Elapsed {
+				t.Errorf("%s at %d%%: elapsed %v batched, %v scalar", access, pct, got.Elapsed, want.Elapsed)
+			}
+			if got.Counters != want.Counters {
+				t.Errorf("%s at %d%%: counters diverged\n got %+v\nwant %+v", access, pct, got.Counters, want.Counters)
+			}
+			if got.SortedRids != want.SortedRids {
+				t.Errorf("%s at %d%%: sorted %d batched, %d scalar", access, pct, got.SortedRids, want.SortedRids)
+			}
+		}
+	}
+	db.SetBatch(0)
+	db.SetQueryJobs(0)
+}

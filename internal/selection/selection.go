@@ -117,6 +117,15 @@ type Request struct {
 	// replaces OnRow and full scans may fan out over ScanChunks(extent)
 	// page ranges.
 	OnRowChunk func(chunk int, vals []object.Value) error
+	// OnBatch is the vectorized row callback: cols[j][0:n] are the
+	// projected value columns of one batch's n selected rows, in row
+	// order within the batch (batches within one chunk arrive in scan
+	// order, so chunk-order concatenation still reproduces the
+	// sequential row order). Like OnRowChunk it may run concurrently,
+	// one goroutine per chunk, and the columns are reused after it
+	// returns. Set it alongside OnRowChunk/OnRow: the batched operators
+	// prefer it, the scalar oracle (batch size 1) ignores it.
+	OnBatch func(chunk int, cols [][]object.Value, n int) error
 }
 
 // ScanChunks returns the page-range decomposition a parallel full scan of
@@ -250,6 +259,9 @@ func runFullScan(db *engine.Database, req Request, whereIdx int, filterIdxs, pro
 	if len(ranges) > 1 && req.OnRow != nil && req.OnRowChunk == nil {
 		ranges = []engine.PageRange{{From: 0, To: req.Extent.File.NumPages()}}
 	}
+	if db.Batch() > 1 {
+		return runFullScanBatched(db, req, whereIdx, filterIdxs, projIdxs, ranges)
+	}
 	res := &Result{Access: FullScan}
 	rows := make([]int, len(ranges))
 	err := db.RunChunks(len(ranges), func(w *engine.Session, c int) error {
@@ -319,6 +331,9 @@ func runIndexScan(db *engine.Database, req Request, whereIdx int, filterIdxs, pr
 	})
 	if err != nil {
 		return nil, err
+	}
+	if db.Batch() > 1 {
+		return runIndexScanBatched(db, req, filterIdxs, projIdxs, sorted, res, rids)
 	}
 	if sorted {
 		db.Meter.Sort(int64(len(rids)))

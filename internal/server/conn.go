@@ -155,6 +155,7 @@ func (c *conn) session() (*session.Session, error) {
 	// metrics after each query.
 	c.sess = session.NewWith(sn.Fork().DB, session.Config{
 		QueryJobs: c.srv.cfg.QueryJobs,
+		Batch:     c.srv.cfg.Batch,
 		PlanCache: oql.NewPlanCache(0),
 	})
 	c.warmed = false
@@ -220,6 +221,11 @@ func (c *conn) query(q *wire.Query) bool {
 			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}
 			return
 		}
+		operator := string(res.Plan.Access)
+		if res.Plan.Kind == oql.PlanTreeJoin {
+			operator = string(res.Plan.Algorithm)
+		}
+		s.metrics.recordPlan(res.Plan.Strategy == oql.Heuristic, operator)
 		s.metrics.record(time.Since(start), res.Elapsed, false)
 		wr := session.ToWire(res, int(q.MaxRows))
 		done <- reply{wire.TypeResult, wr.Encode()}

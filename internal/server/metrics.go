@@ -23,6 +23,9 @@ type metrics struct {
 	sessions    int64
 	planHits    int64   // plan-cache hits across all sessions
 	planMisses  int64   // plan-cache misses (compiles) across all sessions
+	plansCost   int64   // executed queries planned cost-based
+	plansHeur   int64   // executed queries planned heuristically
+	lastOp      string  // operator of the most recently executed query
 	wallUs      []int64 // wall latency per served query, microseconds
 	simMs       []int64 // simulated latency per served query, milliseconds
 }
@@ -60,6 +63,20 @@ func (m *metrics) recordPlanCache(hits, misses int64) {
 	m.mu.Unlock()
 }
 
+// recordPlan notes one executed query's chosen-plan provenance: which
+// optimizer strategy picked the plan and which operator ran (an access
+// path for selections, an algorithm for joins).
+func (m *metrics) recordPlan(heuristic bool, operator string) {
+	m.mu.Lock()
+	if heuristic {
+		m.plansHeur++
+	} else {
+		m.plansCost++
+	}
+	m.lastOp = operator
+	m.mu.Unlock()
+}
+
 // record notes one completed query execution.
 func (m *metrics) record(wall, simulated time.Duration, queryErr bool) {
 	m.mu.Lock()
@@ -75,7 +92,7 @@ func (m *metrics) record(wall, simulated time.Duration, queryErr bool) {
 
 // snapshot renders the current state. Queue depth, session occupancy and
 // snapshot memory are read from the server's live gauges by the caller.
-func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, snapshotBytes int64, snapshotSource string) *wire.Stats {
+func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, snapshotBytes, batchSize int64, snapshotSource string) *wire.Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &wire.Stats{
@@ -92,6 +109,10 @@ func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, sn
 		SnapshotSource:  snapshotSource,
 		PlanCacheHits:   m.planHits,
 		PlanCacheMisses: m.planMisses,
+		PlansCost:       m.plansCost,
+		PlansHeuristic:  m.plansHeur,
+		BatchSize:       batchSize,
+		LastOperator:    m.lastOp,
 	}
 	s.WallP50us, s.WallP95us, s.WallP99us, s.WallHist = summarize(m.wallUs)
 	s.SimP50ms, s.SimP95ms, s.SimP99ms, s.SimHist = summarize(m.simMs)

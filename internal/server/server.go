@@ -38,6 +38,7 @@ import (
 
 	"treebench/internal/core"
 	"treebench/internal/derby"
+	"treebench/internal/engine"
 	"treebench/internal/wire"
 )
 
@@ -73,6 +74,10 @@ type Config struct {
 	// query changes wall-clock latency only; every simulated number stays
 	// byte-identical.
 	QueryJobs int
+	// Batch is the vectorized-execution batch size each session runs with
+	// (0 means the engine default, 1024; 1 runs the legacy scalar
+	// operators). Like QueryJobs it changes wall-clock latency only.
+	Batch int
 	// QueryTimeout is each query's wall-clock budget, covering queue wait
 	// and execution; 0 means 30 seconds.
 	QueryTimeout time.Duration
@@ -289,7 +294,11 @@ func (s *Server) Stats() *wire.Stats {
 			source = *p
 		}
 	}
-	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes, source)
+	batch := int64(s.cfg.Batch)
+	if batch < 1 {
+		batch = engine.DefaultBatch
+	}
+	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes, batch, source)
 }
 
 // admit acquires an admission slot within the deadline. It returns a wire

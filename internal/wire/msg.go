@@ -201,6 +201,14 @@ type Stats struct {
 	PlanCacheHits   int64 // plan-cache hits across all sessions
 	PlanCacheMisses int64 // plan-cache misses (compiles) across all sessions
 
+	// Chosen-plan provenance (v4): how many executed queries ran under
+	// each optimizer strategy, the vectorized-execution batch size the
+	// server's sessions run with (1 = scalar operators), and the access
+	// path or join algorithm of the most recently executed query.
+	PlansCost      int64
+	PlansHeuristic int64
+	BatchSize      int64
+
 	// Wall-clock latency percentiles, in microseconds.
 	WallP50us, WallP95us, WallP99us int64
 	// Simulated-time latency percentiles, in milliseconds.
@@ -214,6 +222,11 @@ type Stats struct {
 	// "generated" for a fresh build, "cache" for a persisted snapshot
 	// loaded from disk (with its path), "" until the database exists.
 	SnapshotSource string
+
+	// LastOperator is the executed operator of the most recent query:
+	// a selection access path ("scan", "index", "index+sort") or a join
+	// algorithm ("PHJ", ...), "" until a query ran (v4).
+	LastOperator string
 }
 
 func (m *Stats) Encode() []byte {
@@ -225,12 +238,14 @@ func (m *Stats) Encode() []byte {
 		m.SimP50ms, m.SimP95ms, m.SimP99ms,
 		m.SnapshotPages, m.SnapshotBytes,
 		m.PlanCacheHits, m.PlanCacheMisses,
+		m.PlansCost, m.PlansHeuristic, m.BatchSize,
 	} {
 		e.i64(v)
 	}
 	e.str(m.WallHist)
 	e.str(m.SimHist)
 	e.str(m.SnapshotSource)
+	e.str(m.LastOperator)
 	return e.b
 }
 
@@ -245,12 +260,14 @@ func DecodeStats(b []byte) (*Stats, error) {
 		&m.SimP50ms, &m.SimP95ms, &m.SimP99ms,
 		&m.SnapshotPages, &m.SnapshotBytes,
 		&m.PlanCacheHits, &m.PlanCacheMisses,
+		&m.PlansCost, &m.PlansHeuristic, &m.BatchSize,
 	} {
 		*p = d.i64()
 	}
 	m.WallHist = d.str()
 	m.SimHist = d.str()
 	m.SnapshotSource = d.str()
+	m.LastOperator = d.str()
 	return m, d.finish("stats")
 }
 

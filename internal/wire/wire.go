@@ -22,7 +22,9 @@ import (
 // Version is the protocol version exchanged in the Hello handshake.
 // v2 added Stats.SnapshotSource (snapshot provenance).
 // v3 added Stats.PlanCacheHits/PlanCacheMisses (plan-cache hit rate).
-const Version uint32 = 3
+// v4 added chosen-plan provenance (Stats.PlansCost/PlansHeuristic/
+// BatchSize/LastOperator).
+const Version uint32 = 4
 
 // MaxPayload bounds a frame's payload; larger length prefixes are rejected
 // before any allocation (a malformed or hostile peer cannot make us

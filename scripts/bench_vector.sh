@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Measures what vectorized execution buys in wall time: the identical cold
+# PHJ tree query (90% children, 90% parents) at batch size 1 (the legacy
+# scalar operators) vs the engine default (1024), both on ONE worker, over
+# one shared frozen snapshot. Writes BENCH_vector.json with both ns/op
+# figures and their ratio, and fails if batching buys less than
+# MIN_SPEEDUP× (default 1.3). Unlike the parallelism gate, this one is
+# enforced on EVERY runner, 1-CPU included: both runs are single-threaded,
+# so the speedup is pure per-batch amortization and does not depend on the
+# CPU count. The simulated numbers are asserted identical inside the
+# benchmark itself at every batch size.
+#
+#   BENCH_SHORT=1       use the -short database (200×200 instead of 2000×100)
+#   BENCHTIME=10x       iterations per benchmark (default 5x)
+#   MIN_SPEEDUP=2.0     gate to enforce (default 1.3)
+#   BENCH_VECTOR_OUT=f  output path (default BENCH_vector.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_VECTOR_OUT:-BENCH_vector.json}
+MIN_SPEEDUP=${MIN_SPEEDUP:-1.3}
+BENCHTIME=${BENCHTIME:-5x}
+SHORT_FLAG=""
+CONFIG="2000x100"
+if [ "${BENCH_SHORT:-}" = "1" ]; then
+  SHORT_FLAG="-short"
+  CONFIG="200x200"
+fi
+
+CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+RAW=$(go test $SHORT_FLAG -run '^$' -bench 'BenchmarkQuery(Scalar|Batched)$' \
+  -benchtime "$BENCHTIME" .)
+echo "$RAW"
+
+SCALAR=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQueryScalar/ {print $3}')
+BATCHED=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQueryBatched/ {print $3}')
+if [ -z "$SCALAR" ] || [ -z "$BATCHED" ]; then
+  echo "bench-vector: could not parse benchmark output" >&2
+  exit 1
+fi
+SPEEDUP=$(awk -v s="$SCALAR" -v b="$BATCHED" 'BEGIN { printf "%.2f", s / b }')
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "cold PHJ tree query, 90% children x 90% parents, class clustering, 1 worker",
+  "config": "$CONFIG",
+  "scalar_ns_op": $SCALAR,
+  "batched_ns_op": $BATCHED,
+  "batch_size": 1024,
+  "speedup": $SPEEDUP,
+  "cpus": $CPUS,
+  "min_speedup": $MIN_SPEEDUP,
+  "gate_enforced": true
+}
+EOF
+echo "bench-vector: scalar ${SCALAR} ns/op, batched ${BATCHED} ns/op -> ${SPEEDUP}x on ${CPUS} CPUs (wrote $OUT)"
+
+awk -v sp="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp + 0 >= min + 0) }' || {
+  echo "bench-vector: speedup ${SPEEDUP}x below required ${MIN_SPEEDUP}x" >&2
+  exit 1
+}

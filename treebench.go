@@ -349,6 +349,12 @@ func JobsFromEnv(def int) int { return core.JobsFromEnv(def) }
 // wall-clock speed only; simulated results are identical at any setting.
 func QueryJobsFromEnv(def int) int { return core.QueryJobsFromEnv(def) }
 
+// BatchFromEnv resolves a vectorized-execution batch size from
+// TREEBENCH_BATCH, falling back to def (0 picks the engine default, 1024;
+// 1 runs the legacy scalar operators). Batch sizes change wall-clock speed
+// only; simulated results are identical at any setting.
+func BatchFromEnv(def int) int { return core.BatchFromEnv(def) }
+
 // ExperimentIDs lists the reproducible tables and figures.
 func ExperimentIDs() []string { return core.ExperimentIDs() }
 
