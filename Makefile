@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-fork bench-snap bench-query bench-vector experiments experiments-full plots cover fuzz smoke snap-smoke clean
+.PHONY: all build test race bench bench-fork bench-snap bench-query bench-vector bench-dist experiments experiments-full plots cover fuzz smoke snap-smoke dist-smoke clean
 
 all: build test
 
@@ -49,6 +49,15 @@ bench-query:
 bench-vector:
 	./scripts/bench_vector.sh
 
+# Sharded scatter-gather speedup: the identical cold PHJ tree query through
+# treebench-coord over 1, 2 and 4 single-worker treebenchd shards, all
+# warm-booting from one content-addressed snapshot cache. Writes
+# BENCH_dist.json; on a machine with at least 4 CPUs the run fails if four
+# shards buy less than MIN_SPEEDUP (default 1.3×). Rendered results are
+# byte-identical at every cluster size (dist-smoke pins that).
+bench-dist:
+	./scripts/bench_dist.sh
+
 # The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
 experiments:
 	$(GO) run ./cmd/treebench -all
@@ -78,6 +87,12 @@ smoke:
 # treebenchd warm start from one snapshot directory.
 snap-smoke:
 	./scripts/snap_smoke.sh
+
+# Distributed smoke: 3 treebenchd shards + treebench-coord from one shared
+# snapshot cache, byte-diffed against the local shell, cluster stats, and a
+# mid-run shard kill surfacing the typed shard error.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 clean:
 	rm -rf plots results.csv test_output.txt bench_output.txt

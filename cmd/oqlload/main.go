@@ -7,7 +7,7 @@
 // Usage:
 //
 //	oqlload [-addr 127.0.0.1:8629] -c 8 -n 20 [-e '<stmt;>'] [-f queries.oql]
-//	        [-warm] [-heuristic] [-maxrows 10] [-retries 20]
+//	        [-warm] [-heuristic] [-maxrows 10] [-retries 20] [-coord]
 //	oqlload -once -e '<stmt;> [<stmt;> ...]'   # run once, print like oqlsh -e
 //
 // With -f, statements (semicolon-terminated) are read from the file and
@@ -15,6 +15,12 @@
 // connection (so -warm exercises the session's warm-cache discipline) and
 // renders each result through the same renderer oqlsh uses — its output is
 // byte-identical to the local shell, and that equivalence is what CI diffs.
+//
+// With -coord, -addr names a treebench-coord instead of a treebenchd: the
+// post-run report additionally fetches the cluster view — the
+// deterministic shard map plus each shard's own served/latency counters
+// and wall/simulated histograms, so per-shard load skew is visible at a
+// glance.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"treebench/internal/client"
 	"treebench/internal/session"
+	"treebench/internal/wire"
 )
 
 func main() {
@@ -43,6 +50,7 @@ func main() {
 		maxRows   = flag.Int("maxrows", 10, "sample rows fetched and printed per query")
 		retries   = flag.Int("retries", 20, "connect retries (the daemon may still be generating)")
 		ioTimeout = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		coord     = flag.Bool("coord", false, "-addr is a treebench-coord: also report the shard map and per-shard stats")
 	)
 	flag.Parse()
 
@@ -170,10 +178,38 @@ func main() {
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",
 				st.SimP50ms, st.SimP95ms, st.SimP99ms, st.SimHist)
 		}
+		if *coord {
+			if cs, err := c.ClusterStats(); err != nil {
+				fmt.Printf("cluster stats: %v\n", err)
+			} else {
+				printCluster(cs)
+			}
+		}
 		c.Close()
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// printCluster renders the coordinator's per-shard view: the deterministic
+// shard map, then one block per shard with its own admission counters and
+// latency histograms (a down shard prints as such instead of numbers).
+func printCluster(cs *wire.ClusterStats) {
+	fmt.Print(cs.Map)
+	for _, sh := range cs.Shards {
+		if !sh.Up || sh.Stats == nil {
+			fmt.Printf("shard %d @ %s: DOWN\n", sh.Idx, sh.Addr)
+			continue
+		}
+		st := sh.Stats
+		fmt.Printf("shard %d @ %s: served %d (errors %d) rejected %d timeouts %d, sessions %d, last operator %s\n",
+			sh.Idx, sh.Addr, st.Served, st.QueryErrors, st.Rejected, st.TimedOut,
+			st.ActiveSessions, st.LastOperator)
+		fmt.Printf("  wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
+			st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
+		fmt.Printf("  simed  p50 %dms p95 %dms p99 %dms  hist %s\n",
+			st.SimP50ms, st.SimP95ms, st.SimP99ms, st.SimHist)
 	}
 }
 

@@ -9,11 +9,18 @@
 //	oqlsh -e 'select ... ;'   # non-interactive: run statements, then exit
 //	oqlsh -f script.oql       # non-interactive: run a script file
 //	oqlsh -warm -e '...'      # keep caches warm between statements
+//	oqlsh -coord ADDR -e '...' # run remotely against a treebench-coord
+//	                           # (or treebenchd) instead of in-process
 //
 // In -e/-f mode only query output reaches stdout (progress goes to
 // stderr), the first failing statement stops the run, and the exit status
 // is non-zero on error — so shell output can be diffed against a
 // treebenchd server session in CI.
+//
+// With -coord the statements are sent over the wire instead of executed
+// in-process: results render through the same renderer, so a cluster's
+// output diffs byte-for-byte against the local shell (that equivalence is
+// what scripts/dist_smoke.sh pins). -coord requires -e or -f.
 //
 // Shell commands:
 //
@@ -36,6 +43,7 @@ import (
 	"strings"
 
 	"treebench"
+	"treebench/internal/client"
 	"treebench/internal/oql"
 	"treebench/internal/session"
 	"treebench/internal/shell"
@@ -50,11 +58,25 @@ func main() {
 		stmts      = flag.String("e", "", "run these semicolon-terminated statements and exit")
 		script     = flag.String("f", "", "run this script file and exit")
 		warm       = flag.Bool("warm", false, "keep caches warm between statements (like the .warm command)")
+		coord      = flag.String("coord", "", "run statements remotely against this treebench-coord (or treebenchd) address; requires -e or -f")
+		maxRows    = flag.Int("maxrows", 10, "sample rows printed per query in -coord mode")
 		qjobs      = flag.Int("qj", 0, "intra-query workers (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); output identical at any setting)")
 		batch      = flag.Int("batch", 0, "vectorized-execution batch size (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; output identical at any setting)")
 	)
 	flag.Parse()
 	scripted := *stmts != "" || *script != ""
+
+	if *coord != "" {
+		if !scripted {
+			fmt.Fprintln(os.Stderr, "oqlsh: -coord requires -e or -f (no interactive remote mode)")
+			os.Exit(2)
+		}
+		if err := runRemote(*coord, *stmts, *script, *strategy, *warm, *maxRows); err != nil {
+			fmt.Fprintln(os.Stderr, "oqlsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cl treebench.Clustering
 	switch *clustering {
@@ -134,4 +156,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oqlsh:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote sends the scripted statements to a coordinator (or daemon) and
+// renders each result exactly as the local shell would.
+func runRemote(addr, inline, script, strategy string, warm bool, maxRows int) error {
+	text := inline
+	if script != "" {
+		b, err := os.ReadFile(script)
+		if err != nil {
+			return err
+		}
+		if text != "" {
+			text += ";"
+		}
+		text += string(b)
+	}
+	var stmtList []string
+	for _, s := range strings.Split(text, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			stmtList = append(stmtList, s)
+		}
+	}
+	if len(stmtList) == 0 {
+		return fmt.Errorf("no statements to run")
+	}
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(os.Stderr, "connected to %s (db %s)\n", addr, c.Label())
+	opts := client.QueryOptions{
+		Warm:      warm,
+		Heuristic: strings.HasPrefix(strategy, "heur"),
+		MaxRows:   maxRows,
+	}
+	for _, stmt := range stmtList {
+		res, err := c.Query(stmt, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+		session.WriteResult(os.Stdout, res, maxRows)
+	}
+	return nil
 }

@@ -1,0 +1,174 @@
+// Command treebench-coord is the scatter-gather coordinator for a sharded
+// treebench cluster: it speaks the same wire protocol as treebenchd, plans
+// each incoming statement locally, fans distributable operators (full
+// scans; NL/PHJ/CHJ tree joins) out to N treebenchd shards as
+// chunk-ownership slices, and merges the partial results in shard-index
+// order — producing rendered tables and meter totals byte-identical to a
+// single-node run. Non-distributable operators are routed whole to one
+// shard; the merged output is still exact.
+//
+// Usage:
+//
+//	treebench-coord -shards 127.0.0.1:8630,127.0.0.1:8631,127.0.0.1:8632
+//	                [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
+//	                [-clustering class] [-seed 1997]
+//	                [-snapshot-dir DIR] [-save-snapshot]
+//	                [-query-timeout 60s] [-v]
+//
+// The shard list is positional: the i-th address must be a treebenchd
+// started with -shard i/N over the SAME -providers/-avg/-clustering/-seed.
+// The coordinator holds a copy of the snapshot itself (from the same
+// content-addressed cache the shards use) for planning and for the shard
+// map; it verifies each shard's announced identity and snapshot key at
+// dial time and fails queries over a mismatched or unreachable shard with
+// a typed shard error rather than merging wrong answers.
+//
+// Only cold queries are accepted: warm-cache sequences are a property of
+// one session's history and cannot be sliced deterministically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"treebench/internal/core"
+	"treebench/internal/derby"
+	"treebench/internal/dist"
+	"treebench/internal/persist"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8629", "listen address")
+		shards     = flag.String("shards", "", "comma-separated shard addresses, in shard-index order (required)")
+		providers  = flag.Int("providers", 200, "number of providers (must match the shards)")
+		avg        = flag.Int("avg", 50, "average patients per provider (must match the shards)")
+		clustering = flag.String("clustering", "class", "class, random, composition (must match the shards)")
+		seed       = flag.Int("seed", 1997, "data generator seed (must match the shards)")
+		timeout    = flag.Duration("query-timeout", 60*time.Second, "per-query budget across the whole scatter-gather")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
+		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
+		saveSnap   = flag.Bool("save-snapshot", false, "cache the planning snapshot even without -snapshot-dir")
+		verbose    = flag.Bool("v", false, "log shard dials and lifecycle to stderr")
+	)
+	flag.Parse()
+
+	addrs := splitAddrs(*shards)
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("-shards is required (comma-separated, shard-index order)"))
+	}
+
+	cl, err := parseClustering(*clustering)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := derby.DefaultConfig(*providers, *avg, cl)
+	cfg.Seed = int32(*seed)
+	label := fmt.Sprintf("%dx%d %s × %d shards", *providers, (*providers)*(*avg), cl, len(addrs))
+
+	dcfg := dist.Config{
+		ShardAddrs:   addrs,
+		Source:       snapshotSource(cfg, *snapDir, *saveSnap),
+		Label:        label,
+		SnapshotKey:  persist.KeyFor(cfg),
+		QueryTimeout: *timeout,
+	}
+	if *verbose {
+		dcfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "treebench-coord: "+format+"\n", args...)
+		}
+	}
+	co, err := dist.New(dcfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("treebench-coord: preparing %s planning snapshot...\n", label)
+	if err := co.Warm(); err != nil {
+		fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- co.ListenAndServe(*addr) }()
+	fmt.Printf("treebench-coord: serving %s on %s\n", label, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && err != dist.ErrCoordClosed {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		fmt.Printf("treebench-coord: %s, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := co.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		fmt.Println("treebench-coord: drained, bye")
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// snapshotSource mirrors treebenchd's: straight generation when caching is
+// off, the content-addressed cache otherwise — so a coordinator co-located
+// with a shard shares its cached snapshot file.
+func snapshotSource(cfg derby.Config, dir string, save bool) func() (*derby.Snapshot, string, error) {
+	if dir == "" && !save {
+		return func() (*derby.Snapshot, string, error) {
+			d, err := derby.Generate(cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			sn, err := d.Freeze()
+			if err != nil {
+				return nil, "", err
+			}
+			return sn, "generated", nil
+		}
+	}
+	return func() (*derby.Snapshot, string, error) {
+		cache, err := persist.Open(dir)
+		if err != nil {
+			return nil, "", err
+		}
+		sn, out, err := cache.GetOrGenerate(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return sn, fmt.Sprintf("%s (%s)", out.Source, out.Path), nil
+	}
+}
+
+func parseClustering(s string) (derby.Clustering, error) {
+	switch s {
+	case "class":
+		return derby.ClassCluster, nil
+	case "random":
+		return derby.RandomOrg, nil
+	case "composition":
+		return derby.CompositionCluster, nil
+	default:
+		return 0, fmt.Errorf("unknown clustering %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "treebench-coord:", err)
+	os.Exit(1)
+}

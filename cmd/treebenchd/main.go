@@ -8,11 +8,19 @@
 //	treebenchd [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
 //	           [-clustering class] [-seed 1997] [-sessions N] [-qj N] [-batch N]
 //	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s]
-//	           [-snapshot-dir DIR] [-save-snapshot] [-v]
+//	           [-snapshot-dir DIR] [-save-snapshot] [-shard i/N] [-v]
 //
 // -sessions, -qj and -batch fall back to the TREEBENCH_JOBS,
 // TREEBENCH_QUERY_JOBS and TREEBENCH_BATCH environment variables when left
 // at 0; all three change wall-clock speed only, never a reported number.
+//
+// -shard i/N runs the daemon as shard i of an N-shard cluster behind
+// cmd/treebench-coord: it still serves plain queries exactly as a
+// standalone daemon would, and additionally accepts Scatter requests
+// addressed to shard i/N, executing them under the chunk-ownership mask.
+// Every shard of a cluster must be started with the same -providers/-avg/
+// -clustering/-seed; the coordinator verifies that via the snapshot's
+// content-addressed key, which the daemon announces in its handshake.
 //
 // The daemon obtains the configured database once — loading it from the
 // snapshot cache when -snapshot-dir (or TREEBENCH_SNAPSHOT_DIR) has a
@@ -57,7 +65,8 @@ func main() {
 		clustering = flag.String("clustering", "class", "class, random, composition")
 		seed       = flag.Int("seed", 1997, "data generator seed")
 		sessions   = flag.Int("sessions", 0, "concurrently executing sessions (default from TREEBENCH_JOBS or min(NumCPU, 8))")
-		replicas   = flag.Int("replicas", 0, "deprecated alias for -sessions")
+		replicas   = flag.Int("replicas", 0, "removed; use -sessions")
+		shard      = flag.String("shard", "", "run as shard i/N of a treebench-coord cluster (e.g. -shard 0/3)")
 		maxConc    = flag.Int("max-concurrent", 0, "admission limit on executing queries (default sessions)")
 		maxQueue   = flag.Int("max-queue", 64, "queries allowed to wait for admission before rejection")
 		qjobs      = flag.Int("qj", 0, "intra-query workers per session (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); results identical at any setting)")
@@ -68,24 +77,11 @@ func main() {
 		saveSnap   = flag.Bool("save-snapshot", false, "cache the generated snapshot even without -snapshot-dir (uses the default cache directory)")
 		verbose    = flag.Bool("v", false, "log sessions and lifecycle to stderr")
 	)
-	// flag.PrintDefaults orders flags lexically, which would list the
-	// deprecated -replicas alias ahead of -sessions; print -sessions
-	// first and push the alias to the bottom, marked deprecated.
-	flag.Usage = func() {
-		w := flag.CommandLine.Output()
-		fmt.Fprintf(w, "Usage of %s:\n", os.Args[0])
-		last := flag.Lookup("replicas")
-		flag.VisitAll(func(f *flag.Flag) {
-			if f.Name == "replicas" {
-				return
-			}
-			printFlag(w, f)
-		})
-		if last != nil {
-			printFlag(w, last)
-		}
-	}
 	flag.Parse()
+	if *replicas != 0 {
+		fatal(fmt.Errorf("-replicas was removed after its deprecation cycle; " +
+			"replace it with -sessions (same meaning, same value)"))
+	}
 
 	cl, err := parseClustering(*clustering)
 	if err != nil {
@@ -96,12 +92,6 @@ func main() {
 	label := fmt.Sprintf("%dx%d %s", *providers, (*providers)*(*avg), cl)
 
 	n := *sessions
-	if *replicas != 0 {
-		fmt.Fprintln(os.Stderr, "treebenchd: -replicas is deprecated; use -sessions")
-		if n == 0 {
-			n = *replicas
-		}
-	}
 	if n == 0 {
 		n = core.JobsFromEnv(core.DefaultJobs())
 	}
@@ -122,6 +112,21 @@ func main() {
 		QueryJobs:     qj,
 		Batch:         b,
 		QueryTimeout:  *timeout,
+	}
+	if *shard != "" {
+		idx, cnt, err := parseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		scfg.ShardIdx = idx
+		scfg.ShardCnt = cnt
+		// The content-addressed snapshot key doubles as the cluster's
+		// identity check: the coordinator refuses a shard whose key differs,
+		// so mismatched -providers/-avg/-seed across shards fail fast
+		// instead of silently merging results over different data.
+		scfg.SnapshotKey = persist.KeyFor(cfg)
+		label = fmt.Sprintf("%s shard %d/%d", label, idx, cnt)
+		scfg.Label = label
 	}
 	if *verbose {
 		scfg.Logf = func(format string, args ...any) {
@@ -192,18 +197,15 @@ func snapshotSource(cfg derby.Config, dir string, save bool) func() (*derby.Snap
 	}
 }
 
-// printFlag renders one flag the way flag.PrintDefaults does.
-func printFlag(w interface{ Write([]byte) (int, error) }, f *flag.Flag) {
-	name, usage := flag.UnquoteUsage(f)
-	line := "  -" + f.Name
-	if name != "" {
-		line += " " + name
+// parseShard parses the -shard value, "i/N" with 0 <= i < N.
+func parseShard(s string) (idx, cnt int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &cnt); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want i/N, e.g. 0/3", s)
 	}
-	line += "\n    \t" + usage
-	if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
-		line += fmt.Sprintf(" (default %v)", f.DefValue)
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return 0, 0, fmt.Errorf("-shard %q: index must be in [0,%d)", s, cnt)
 	}
-	fmt.Fprintln(w, line)
+	return idx, cnt, nil
 }
 
 func parseClustering(s string) (derby.Clustering, error) {

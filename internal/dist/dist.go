@@ -1,0 +1,104 @@
+// Package dist is treebench's distributed execution layer: a deterministic
+// shard map over the engine's chunk decomposition, and a scatter-gather
+// coordinator (treebench-coord) that fans one OQL statement out to N
+// treebenchd shards and merges their partial results in shard-index order.
+//
+// The design exploits the fact that every simulated charge in this system
+// is a pure function of the data and the query, never of the machine:
+//
+//   - Chunk decomposition (engine.ChunksForWork over engine.Extent.Partition
+//     page ranges) is already a pure function of the data, so the shard map
+//     — shard s of N owns the engine.ShardChunks block of every chunk grid —
+//     is too. No node-count-mod placement, no rebalancing state.
+//   - Every shard loads the same content-addressed .tbsp snapshot (shards
+//     pull or regenerate by SHA-256 key via persist.Cache — provisioning
+//     ships the hash, not the data) and executes the statement under its
+//     chunk-ownership mask: owned chunks run on their canonical fork
+//     indices and charge the meter; unowned chunks either do not run
+//     (scans, probes) or run uncharged for their side effects (hash-join
+//     build broadcast, engine.RunChunksAll).
+//   - The coordinator concatenates per-shard blocks in shard-index order,
+//     which is exactly the chunk-index order a single node merges in, then
+//     applies the global post-processing (the order-by sort charge over all
+//     rows, aggregate finalization) exactly once.
+//
+// A cluster's rendered tables and meter totals are therefore byte-identical
+// to a single-node run — the property TestDistributedDeterministic and the
+// dist_smoke.sh CI diff pin down.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"treebench/internal/engine"
+	"treebench/internal/join"
+	"treebench/internal/oql"
+	"treebench/internal/selection"
+)
+
+// ErrShardDown reports that a shard required by a query is unreachable.
+// Errors wrapping it are *ShardDownError values naming the shard.
+var ErrShardDown = errors.New("dist: shard down")
+
+// ShardDownError is a query failure caused by one unreachable shard.
+type ShardDownError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("dist: shard %d (%s) down: %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardDownError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrShardDown) true for every ShardDownError.
+func (e *ShardDownError) Is(target error) bool { return target == ErrShardDown }
+
+// Distributable reports whether the plan's operator can be sliced across
+// shards by the chunk-ownership mask. Full scans and the chunked join
+// algorithms (NL fan-out, PHJ/CHJ with build-side broadcast) distribute;
+// the deliberately sequential operators (index scans, whose simulated fault
+// pattern depends on one cache's history; NOJOIN/VNOJOIN navigation;
+// HHJ/SMJ) run whole on a single shard instead.
+func Distributable(p *oql.Plan) bool {
+	switch p.Kind {
+	case oql.PlanSelection:
+		return p.Access == selection.FullScan
+	case oql.PlanTreeJoin:
+		switch p.Algorithm {
+		case join.NL, join.PHJ, join.CHJ:
+			return true
+		}
+	}
+	return false
+}
+
+// ShardMap renders the cluster's chunk-ownership map over db's extents: for
+// each extent, its scan-chunk count and every shard's ShardChunks block.
+// The map is a pure function of (data, shard count) — the point of the
+// whole design — so any node can render it without coordination.
+func ShardMap(db *engine.Database, shards int) string {
+	names := db.Extents()
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard map (%d shards, chunk-block ownership):\n", shards)
+	for _, name := range names {
+		e, err := db.Extent(name)
+		if err != nil {
+			continue
+		}
+		nc := len(selection.ScanChunks(e))
+		fmt.Fprintf(&b, "  %s: %d chunk(s) →", name, nc)
+		for s := 0; s < shards; s++ {
+			lo, hi := engine.ShardChunks(nc, s, shards)
+			fmt.Fprintf(&b, " shard%d=[%d,%d)", s, lo, hi)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"treebench/internal/histogram"
+	"treebench/internal/wire"
+)
+
+// coordStats is the coordinator's own counters snapshot source: served and
+// failed queries, chosen-plan provenance, and end-to-end latency populations
+// (wall clock across the whole scatter-gather, plus the merged simulated
+// time — which is deterministic per query mix, same as single-node).
+type coordStats struct {
+	mu          sync.Mutex
+	served      int64
+	queryErrors int64
+	sessions    int64
+	plansCost   int64
+	plansHeur   int64
+	lastOp      string
+	wallUs      []int64
+	simMs       []int64
+}
+
+func (m *coordStats) sessionOpened() {
+	m.mu.Lock()
+	m.sessions++
+	m.mu.Unlock()
+}
+
+func (m *coordStats) sessionClosed() {
+	m.mu.Lock()
+	m.sessions--
+	m.mu.Unlock()
+}
+
+func (m *coordStats) recordPlan(heuristic bool, operator string) {
+	m.mu.Lock()
+	if heuristic {
+		m.plansHeur++
+	} else {
+		m.plansCost++
+	}
+	m.lastOp = operator
+	m.mu.Unlock()
+}
+
+func (m *coordStats) record(wall, simulated time.Duration, queryErr bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.served++
+	if queryErr {
+		m.queryErrors++
+		return
+	}
+	m.wallUs = append(m.wallUs, wall.Microseconds())
+	m.simMs = append(m.simMs, simulated.Milliseconds())
+}
+
+// snapshot renders the coordinator's counters in wire.Stats form. Sessions
+// reports the cluster width (the coordinator itself has no execution
+// slots); SnapshotSource names the role.
+func (m *coordStats) snapshot(shards int64) *wire.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &wire.Stats{
+		Served:         m.served,
+		QueryErrors:    m.queryErrors,
+		ActiveSessions: m.sessions,
+		Sessions:       shards,
+		PlansCost:      m.plansCost,
+		PlansHeuristic: m.plansHeur,
+		LastOperator:   m.lastOp,
+		SnapshotSource: "coordinator",
+		ShardCnt:       shards,
+	}
+	s.WallP50us, s.WallP95us, s.WallP99us, s.WallHist = summarize(m.wallUs)
+	s.SimP50ms, s.SimP95ms, s.SimP99ms, s.SimHist = summarize(m.simMs)
+	return s
+}
+
+// summarize computes p50/p95/p99 and an equi-depth histogram over one
+// latency population (the same rendering treebenchd's stats use, so
+// oqlload's output reads identically against either).
+func summarize(pop []int64) (p50, p95, p99 int64, hist string) {
+	if len(pop) == 0 {
+		return 0, 0, 0, ""
+	}
+	keys := make([]int64, len(pop))
+	copy(keys, pop)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	p50 = percentile(keys, 50)
+	p95 = percentile(keys, 95)
+	p99 = percentile(keys, 99)
+	if h := histogram.Build(keys, 8); h != nil {
+		hist = h.String()
+	}
+	return p50, p95, p99, hist
+}
+
+// percentile reads the nearest-rank percentile from sorted keys.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}

@@ -120,6 +120,15 @@ type Session struct {
 	// accounting is independent of it — and it survives ColdRestart.
 	batch int
 
+	// shardIdx/shardCnt are the session's chunk-ownership mask for
+	// distributed execution: when shardCnt > 1, RunChunks executes and
+	// charges only the chunks ShardChunks assigns to shardIdx, and
+	// RunChunksAll executes every chunk but charges only the owned ones.
+	// The default (0, 0) — like (0, 1) — owns everything: single-node
+	// behavior is unchanged. Both survive ColdRestart (the mask is part of
+	// the session's identity, not its cache state); see parallel.go.
+	shardIdx, shardCnt int
+
 	// readOnly marks a session that shares frozen pages it must never
 	// mutate: the builder after Freeze, and every Snapshot.Fork. The guard
 	// runs before any shared buffer is touched — the storage layer's

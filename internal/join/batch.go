@@ -132,7 +132,8 @@ func runPHJBatched(env *Env, q Query) (*Result, error) {
 	buildBudget := db.Machine.HashBudget / int64(nb)
 	tables := make([]map[storage.Rid]providerInfo, nb)
 	sizes := make([]int64, nb)
-	err = db.RunChunks(nb, func(w *engine.Session, c int) error {
+	// Build-side broadcast under a shard mask; see the scalar PHJ build.
+	err = db.RunChunksAll(nb, func(w *engine.Session, c int) error {
 		region := sim.NewRegion(w.Meter, buildBudget)
 		table := make(map[storage.Rid]providerInfo)
 		tables[c] = table
@@ -245,7 +246,8 @@ func runCHJBatched(env *Env, q Query) (*Result, error) {
 	nb := len(buildRanges)
 	buildBudget := db.Machine.HashBudget / int64(nb)
 	tables := make([]map[storage.Rid][]int64, nb)
-	err = db.RunChunks(nb, func(w *engine.Session, c int) error {
+	// Build-side broadcast under a shard mask; see the scalar PHJ build.
+	err = db.RunChunksAll(nb, func(w *engine.Session, c int) error {
 		region := sim.NewRegion(w.Meter, buildBudget)
 		table := make(map[storage.Rid][]int64)
 		tables[c] = table

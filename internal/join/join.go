@@ -412,7 +412,10 @@ func runPHJ(env *Env, q Query) (*Result, error) {
 	buildBudget := db.Machine.HashBudget / int64(nb)
 	tables := make([]map[storage.Rid]providerInfo, nb)
 	sizes := make([]int64, nb)
-	err = db.RunChunks(nb, func(w *engine.Session, c int) error {
+	// RunChunksAll, not RunChunks: the probe side needs the whole table, so
+	// under a shard mask every participant builds every chunk (build-side
+	// broadcast) while only the owned chunks' charges are merged.
+	err = db.RunChunksAll(nb, func(w *engine.Session, c int) error {
 		meter := w.Meter
 		region := sim.NewRegion(meter, buildBudget)
 		table := make(map[storage.Rid]providerInfo)
@@ -534,7 +537,8 @@ func runCHJ(env *Env, q Query) (*Result, error) {
 	nb := len(buildRanges)
 	buildBudget := db.Machine.HashBudget / int64(nb)
 	tables := make([]map[storage.Rid][]int64, nb)
-	err = db.RunChunks(nb, func(w *engine.Session, c int) error {
+	// Build-side broadcast under a shard mask; see the PHJ build above.
+	err = db.RunChunksAll(nb, func(w *engine.Session, c int) error {
 		meter := w.Meter
 		region := sim.NewRegion(meter, buildBudget)
 		table := make(map[storage.Rid][]int64) // provider rid → patient ages

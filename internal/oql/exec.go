@@ -51,12 +51,34 @@ type Result struct {
 	// matched than were kept.
 	Sample          []Row
 	SampleTruncated bool
+
+	// AggStates holds mergeable aggregate states instead of Aggregates
+	// when the plan ran through ExecutePartial: an avg cannot be merged
+	// from finals, so shards ship {n, sum, min, max} and the coordinator
+	// finalizes after MergeAggPartials.
+	AggStates []AggPartial
 }
 
 // Execute runs the plan on the planner's database. The caller decides the
 // cache temperature (call db.ColdRestart() first for the paper's cold
 // methodology).
 func (pl *Planner) Execute(p *Plan) (*Result, error) {
+	return pl.execute(p, false)
+}
+
+// ExecutePartial runs the plan as one shard's slice of a distributed query:
+// the database's shard mask (engine.SetShard) decides which chunks execute
+// and charge. Global post-processing is left to the coordinator — the
+// order-by sort (and its Meter.Sort charge, which covers ALL matching rows
+// and so must be applied exactly once, over the merged total), the hidden
+// order-column strip, and aggregate finalization (AggStates carries the
+// mergeable states in place of Aggregates). Samples keep hidden order
+// columns so the coordinator can sort the concatenation.
+func (pl *Planner) ExecutePartial(p *Plan) (*Result, error) {
+	return pl.execute(p, true)
+}
+
+func (pl *Planner) execute(p *Plan, partial bool) (*Result, error) {
 	switch p.Kind {
 	case PlanSelection:
 		req := selection.Request{
@@ -163,9 +185,13 @@ func (pl *Planner) Execute(p *Plan) (*Result, error) {
 			Selection: sres,
 		}
 		for _, st := range aggs {
-			res.Aggregates = append(res.Aggregates, st.result())
+			if partial {
+				res.AggStates = append(res.AggStates, st.partial())
+			} else {
+				res.Aggregates = append(res.Aggregates, st.result())
+			}
 		}
-		if p.OrderAttr != "" {
+		if p.OrderAttr != "" && !partial {
 			// Sorting the result is charged over ALL matching rows, as
 			// the system would; the sample is what we can show.
 			pl.DB.Meter.Sort(int64(sres.Rows))
@@ -259,25 +285,67 @@ func (s *aggState) merge(o *aggState) {
 	s.sum += o.sum
 }
 
-func (s *aggState) result() AggResult {
-	out := AggResult{Label: s.label}
-	switch s.agg {
+func (s *aggState) partial() AggPartial {
+	return AggPartial{Agg: s.agg, Label: s.label, N: s.n, Sum: s.sum, Min: s.min, Max: s.max}
+}
+
+func (s *aggState) result() AggResult { return s.partial().Finalize() }
+
+// AggPartial is one aggregate's mergeable intermediate state: everything a
+// coordinator needs to combine per-shard slices of count/sum/min/max/avg
+// without losing information (an avg, in particular, cannot be merged from
+// finalized values).
+type AggPartial struct {
+	Agg   Aggregate
+	Label string
+	N     int64
+	Sum   int64
+	Min   int64
+	Max   int64
+}
+
+// Finalize computes the aggregate's value from the accumulated state.
+func (p AggPartial) Finalize() AggResult {
+	out := AggResult{Label: p.Label}
+	switch p.Agg {
 	case AggCount:
-		out.Value = float64(s.n)
+		out.Value = float64(p.N)
 	case AggSum:
-		out.Value = float64(s.sum)
+		out.Value = float64(p.Sum)
 	case AggMin:
-		if s.n > 0 {
-			out.Value = float64(s.min)
+		if p.N > 0 {
+			out.Value = float64(p.Min)
 		}
 	case AggMax:
-		if s.n > 0 {
-			out.Value = float64(s.max)
+		if p.N > 0 {
+			out.Value = float64(p.Max)
 		}
 	case AggAvg:
-		if s.n > 0 {
-			out.Value = float64(s.sum) / float64(s.n)
+		if p.N > 0 {
+			out.Value = float64(p.Sum) / float64(p.N)
 		}
 	}
 	return out
+}
+
+// MergeAggPartials folds src into dst index-by-index (the slices must come
+// from the same plan, so they line up). Merging is commutative, but callers
+// fold shards in shard-index order — the same discipline chunk merges follow
+// — so intermediate states are deterministic too.
+func MergeAggPartials(dst, src []AggPartial) []AggPartial {
+	for i := range dst {
+		if i >= len(src) || src[i].N == 0 {
+			continue
+		}
+		o := src[i]
+		if dst[i].N == 0 || o.Min < dst[i].Min {
+			dst[i].Min = o.Min
+		}
+		if dst[i].N == 0 || o.Max > dst[i].Max {
+			dst[i].Max = o.Max
+		}
+		dst[i].N += o.N
+		dst[i].Sum += o.Sum
+	}
+	return dst
 }

@@ -87,6 +87,12 @@ type Plan struct {
 	Estimates []Estimate
 }
 
+// OrderHidden reports whether the order-by column was appended as a hidden
+// projection (not asked for by the query) and so must be stripped from
+// sorted rows — by the executor locally, or by a coordinator after it sorts
+// the merged partial samples.
+func (p *Plan) OrderHidden() bool { return p.orderHidden }
+
 // Explain renders the plan and its costed alternatives.
 func (p *Plan) Explain() string {
 	var b strings.Builder

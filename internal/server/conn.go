@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"time"
 
@@ -105,7 +106,13 @@ func (c *conn) handshake() bool {
 		c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "unsupported protocol version"}).Encode())
 		return false
 	}
-	return c.send(wire.TypeServerHello, (&wire.ServerHello{Version: wire.Version, Label: c.srv.cfg.Label}).Encode())
+	return c.send(wire.TypeServerHello, (&wire.ServerHello{
+		Version:     wire.Version,
+		Label:       c.srv.cfg.Label,
+		ShardIdx:    uint32(c.srv.cfg.ShardIdx),
+		ShardCnt:    uint32(c.srv.cfg.ShardCnt),
+		SnapshotKey: c.srv.cfg.SnapshotKey,
+	}).Encode())
 }
 
 // handle dispatches one request, reporting whether the session survives it.
@@ -122,6 +129,13 @@ func (c *conn) handle(typ byte, payload []byte) bool {
 			return false
 		}
 		return c.query(q)
+	case wire.TypeScatter:
+		sc, err := wire.DecodeScatter(payload)
+		if err != nil {
+			c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: err.Error()}).Encode())
+			return false
+		}
+		return c.scatter(sc)
 	default:
 		c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "unknown frame type"}).Encode())
 		return false
@@ -243,6 +257,100 @@ func (c *conn) query(q *wire.Query) bool {
 		// query forks a fresh one (cheap, thanks to the snapshot), so the
 		// connection never observes the abandoned run's cache state. A
 		// reaper frees the admission slot when the execution finishes.
+		c.sess = nil
+		c.warmed = false
+		s.metrics.timeout()
+		s.execWg.Add(1)
+		go func() {
+			defer s.execWg.Done()
+			<-done
+			release()
+		}()
+		return c.sendError(wire.CodeTimeout, errQueryTimeout(s.cfg.QueryTimeout))
+	}
+}
+
+// scatter admits, executes and answers one shard-slice request. The slice
+// always runs cold under the chunk-ownership mask (ExecutePartial installs
+// and clears it around exactly this execution), so an interleaved plain
+// Query on the same connection still sees single-node behavior.
+func (c *conn) scatter(sc *wire.Scatter) bool {
+	s := c.srv
+	if int(sc.ShardIdx) != s.cfg.ShardIdx || int(sc.ShardCnt) != s.cfg.ShardCnt {
+		return c.send(wire.TypeError, (&wire.Error{
+			Code: wire.CodeShard,
+			Msg: fmt.Sprintf("server: scatter addressed to shard %d/%d but this is shard %d/%d",
+				sc.ShardIdx, sc.ShardCnt, s.cfg.ShardIdx, s.cfg.ShardCnt),
+		}).Encode())
+	}
+	deadline := time.Now().Add(s.cfg.QueryTimeout)
+
+	release, code, err := s.admit(deadline)
+	if err != nil {
+		return c.sendError(code, err)
+	}
+
+	sess, err := c.session()
+	if err != nil {
+		release()
+		s.metrics.reject()
+		return c.sendError(wire.CodeBusy, err)
+	}
+	// A scatter cold-restarts, which invalidates any warm sequence the
+	// connection had going.
+	c.warmed = false
+
+	type reply struct {
+		typ     byte
+		payload []byte
+	}
+	done := make(chan reply, 1)
+	s.execWg.Add(1)
+	s.busy.Add(1)
+	go func() {
+		defer s.execWg.Done()
+		defer s.busy.Add(-1)
+		if s.beforeExecute != nil {
+			s.beforeExecute()
+		}
+		start := time.Now()
+		if sc.Strategy == wire.StrategyHeuristic {
+			sess.Planner.Strategy = oql.Heuristic
+		} else {
+			sess.Planner.Strategy = oql.CostBased
+		}
+		var planHits0, planMisses0 int64
+		if pc := sess.Planner.Cache; pc != nil {
+			planHits0, planMisses0 = pc.Stats()
+		}
+		res, err := sess.ExecutePartial(sc.Stmt, int(sc.ShardIdx), int(sc.ShardCnt))
+		if pc := sess.Planner.Cache; pc != nil {
+			h, m := pc.Stats()
+			s.metrics.recordPlanCache(h-planHits0, m-planMisses0)
+		}
+		if err != nil {
+			s.metrics.record(time.Since(start), 0, true)
+			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}
+			return
+		}
+		operator := string(res.Plan.Access)
+		if res.Plan.Kind == oql.PlanTreeJoin {
+			operator = string(res.Plan.Algorithm)
+		}
+		s.metrics.recordPlan(res.Plan.Strategy == oql.Heuristic, operator)
+		s.metrics.record(time.Since(start), res.Elapsed, false)
+		done <- reply{wire.TypePartial, session.ToPartial(res).Encode()}
+	}()
+
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case rep := <-done:
+		release()
+		return c.send(rep.typ, rep.payload)
+	case <-t.C:
+		// Same abandonment discipline as query(): answer now, let a reaper
+		// free the slot when the stray execution finishes.
 		c.sess = nil
 		c.warmed = false
 		s.metrics.timeout()

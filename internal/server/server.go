@@ -81,6 +81,17 @@ type Config struct {
 	// QueryTimeout is each query's wall-clock budget, covering queue wait
 	// and execution; 0 means 30 seconds.
 	QueryTimeout time.Duration
+	// ShardIdx/ShardCnt make the server shard ShardIdx of a ShardCnt-node
+	// cluster: it announces the identity in its handshake and accepts
+	// Scatter requests addressed to exactly that identity. (0, 0) — the
+	// default — is a standalone single-node server; plain Query requests
+	// work identically either way.
+	ShardIdx int
+	ShardCnt int
+	// SnapshotKey is the content-addressed persist key of the served
+	// snapshot configuration, announced in the handshake so a coordinator
+	// can prove all shards serve the same data ("" disables the check).
+	SnapshotKey string
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -140,6 +151,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueryTimeout == 0 {
 		cfg.QueryTimeout = 30 * time.Second
+	}
+	if cfg.ShardCnt < 0 || cfg.ShardIdx < 0 {
+		return nil, fmt.Errorf("server: negative shard identity %d/%d", cfg.ShardIdx, cfg.ShardCnt)
+	}
+	if cfg.ShardCnt > 0 && cfg.ShardIdx >= cfg.ShardCnt {
+		return nil, fmt.Errorf("server: shard %d out of range of %d", cfg.ShardIdx, cfg.ShardCnt)
 	}
 	return &Server{
 		cfg:     cfg,
@@ -298,7 +315,10 @@ func (s *Server) Stats() *wire.Stats {
 	if batch < 1 {
 		batch = engine.DefaultBatch
 	}
-	return s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes, batch, source)
+	st := s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes, batch, source)
+	st.ShardIdx = int64(s.cfg.ShardIdx)
+	st.ShardCnt = int64(s.cfg.ShardCnt)
+	return st
 }
 
 // admit acquires an admission slot within the deadline. It returns a wire

@@ -32,6 +32,25 @@ func FuzzDecodeFrame(f *testing.F) {
 		Sample:     [][]object.Value{{object.IntValue(1), object.StringValue("x")}},
 	}).Encode())
 	seed(TypePing, nil)
+	seed(TypeServerHello, (&ServerHello{
+		Version: Version, Label: "shard", ShardIdx: 1, ShardCnt: 3, SnapshotKey: "ab12cd",
+	}).Encode())
+	seed(TypeScatter, (&Scatter{
+		Stmt: "select pa.mrn from pa in Patients", ShardIdx: 2, ShardCnt: 3,
+	}).Encode())
+	seed(TypePartial, (&Partial{
+		Rows:     7,
+		Counters: sim.Counters{DiskReads: 3},
+		Aggs:     []PartialAgg{{Agg: "avg", Label: "avg(pa.age)", N: 7, Sum: 210, Min: 4, Max: 80}},
+		Sample:   [][]object.Value{{object.IntValue(9)}},
+	}).Encode())
+	seed(TypeClusterStats, (&ClusterStats{
+		Map: "shard map (2 shards)",
+		Shards: []ShardStat{
+			{Idx: 0, Addr: "127.0.0.1:8630", Up: true, Stats: &Stats{Served: 2, ShardCnt: 2}},
+			{Idx: 1, Addr: "127.0.0.1:8631", Up: false},
+		},
+	}).Encode())
 	f.Add([]byte{})
 	f.Add([]byte{TypeQuery, 0xFF, 0xFF, 0xFF, 0xFF, 0x00})
 
@@ -63,6 +82,18 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 		case TypeStats:
 			if m, err := DecodeStats(payload); err == nil {
+				reDecode(t, m.Encode(), payload)
+			}
+		case TypeScatter:
+			if m, err := DecodeScatter(payload); err == nil {
+				reDecode(t, m.Encode(), payload)
+			}
+		case TypePartial:
+			if m, err := DecodePartial(payload); err == nil {
+				reDecode(t, m.Encode(), payload)
+			}
+		case TypeClusterStats:
+			if m, err := DecodeClusterStats(payload); err == nil {
 				reDecode(t, m.Encode(), payload)
 			}
 		}

@@ -39,19 +39,33 @@ type ServerHello struct {
 	Version uint32
 	// Label names the database the server serves ("200x10000 class").
 	Label string
+	// ShardIdx/ShardCnt identify the server's slice of a distributed
+	// cluster; (0, 0) — like (0, 1) — is a standalone single-node server
+	// (v5). A coordinator refuses to scatter to a shard whose identity
+	// does not match its cluster plan.
+	ShardIdx uint32
+	ShardCnt uint32
+	// SnapshotKey is the content-addressed persist key of the snapshot
+	// configuration the server serves ("" when unknown). Shards of one
+	// cluster must agree on it — it proves they serve the same data (v5).
+	SnapshotKey string
 }
 
 func (m *ServerHello) Encode() []byte {
 	var e enc
 	e.u32(m.Version)
 	e.str(m.Label)
+	e.u32(m.ShardIdx)
+	e.u32(m.ShardCnt)
+	e.str(m.SnapshotKey)
 	return e.b
 }
 
 // DecodeServerHello parses a TypeServerHello payload.
 func DecodeServerHello(b []byte) (*ServerHello, error) {
 	d := newDec(b)
-	m := &ServerHello{Version: d.u32(), Label: d.str()}
+	m := &ServerHello{Version: d.u32(), Label: d.str(),
+		ShardIdx: d.u32(), ShardCnt: d.u32(), SnapshotKey: d.str()}
 	return m, d.finish("server hello")
 }
 
@@ -227,6 +241,11 @@ type Stats struct {
 	// a selection access path ("scan", "index", "index+sort") or a join
 	// algorithm ("PHJ", ...), "" until a query ran (v4).
 	LastOperator string
+
+	// ShardIdx/ShardCnt are the server's shard identity; (0, 0) for a
+	// standalone single-node server (v5).
+	ShardIdx int64
+	ShardCnt int64
 }
 
 func (m *Stats) Encode() []byte {
@@ -239,6 +258,7 @@ func (m *Stats) Encode() []byte {
 		m.SnapshotPages, m.SnapshotBytes,
 		m.PlanCacheHits, m.PlanCacheMisses,
 		m.PlansCost, m.PlansHeuristic, m.BatchSize,
+		m.ShardIdx, m.ShardCnt,
 	} {
 		e.i64(v)
 	}
@@ -261,6 +281,7 @@ func DecodeStats(b []byte) (*Stats, error) {
 		&m.SnapshotPages, &m.SnapshotBytes,
 		&m.PlanCacheHits, &m.PlanCacheMisses,
 		&m.PlansCost, &m.PlansHeuristic, &m.BatchSize,
+		&m.ShardIdx, &m.ShardCnt,
 	} {
 		*p = d.i64()
 	}
@@ -269,6 +290,194 @@ func DecodeStats(b []byte) (*Stats, error) {
 	m.SnapshotSource = d.str()
 	m.LastOperator = d.str()
 	return m, d.finish("stats")
+}
+
+// Scatter asks a shard to execute its slice of one OQL statement (v5).
+// The shard plans the statement itself (planning is meter-free — histograms
+// are primed at boot) and executes under the chunk-ownership mask
+// (ShardIdx, ShardCnt); the coordinator cross-checks the identity against
+// the shard's handshake before trusting the reply.
+type Scatter struct {
+	Stmt string
+	// Strategy selects the optimizer (StrategyCost or StrategyHeuristic);
+	// every shard must plan identically, which identical snapshots and
+	// strategies guarantee.
+	Strategy byte
+	ShardIdx uint32
+	ShardCnt uint32
+}
+
+func (m *Scatter) Encode() []byte {
+	var e enc
+	e.str(m.Stmt)
+	e.u8(m.Strategy)
+	e.u32(m.ShardIdx)
+	e.u32(m.ShardCnt)
+	return e.b
+}
+
+// DecodeScatter parses a TypeScatter payload.
+func DecodeScatter(b []byte) (*Scatter, error) {
+	d := newDec(b)
+	m := &Scatter{Stmt: d.str(), Strategy: d.u8(), ShardIdx: d.u32(), ShardCnt: d.u32()}
+	if err := d.finish("scatter"); err != nil {
+		return nil, err
+	}
+	if m.Strategy > StrategyHeuristic {
+		return nil, fmt.Errorf("wire: unknown strategy %d", m.Strategy)
+	}
+	if m.ShardCnt > 0 && m.ShardIdx >= m.ShardCnt {
+		return nil, fmt.Errorf("wire: shard %d out of range of %d", m.ShardIdx, m.ShardCnt)
+	}
+	return m, nil
+}
+
+// PartialAgg is one aggregate's mergeable intermediate state (mirrors
+// oql.AggPartial): a coordinator merges per-shard states in shard order
+// and finalizes once — an avg cannot be merged from finalized values.
+type PartialAgg struct {
+	// Agg is the aggregate function name ("count", "sum", "min", "max",
+	// "avg"); Label is its rendered header ("avg(age)").
+	Agg   string
+	Label string
+	N     int64
+	Sum   int64
+	Min   int64
+	Max   int64
+}
+
+// Partial carries one shard's slice of a scattered query (v5): the rows it
+// owned, its meter readings, mergeable aggregate states, and its unsorted
+// sample (hidden order-by columns intact — the coordinator sorts and strips
+// after merging).
+type Partial struct {
+	Rows     int64
+	Elapsed  time.Duration
+	Counters sim.Counters
+	Aggs     []PartialAgg
+	// Sample holds the shard's materialized rows, up to the executor's
+	// SampleLimit (not the client's MaxRows — the coordinator needs the
+	// full sample to sort and trim globally).
+	Sample [][]object.Value
+	// Truncated reports the shard kept fewer rows than matched.
+	Truncated bool
+}
+
+func (m *Partial) Encode() []byte {
+	var e enc
+	e.i64(m.Rows)
+	e.i64(int64(m.Elapsed))
+	encodeCounters(&e, &m.Counters)
+	e.u32(uint32(len(m.Aggs)))
+	for _, a := range m.Aggs {
+		e.str(a.Agg)
+		e.str(a.Label)
+		e.i64(a.N)
+		e.i64(a.Sum)
+		e.i64(a.Min)
+		e.i64(a.Max)
+	}
+	e.u32(uint32(len(m.Sample)))
+	for _, row := range m.Sample {
+		e.u32(uint32(len(row)))
+		for _, v := range row {
+			encodeValue(&e, v)
+		}
+	}
+	e.bool(m.Truncated)
+	return e.b
+}
+
+// DecodePartial parses a TypePartial payload.
+func DecodePartial(b []byte) (*Partial, error) {
+	d := newDec(b)
+	m := &Partial{Rows: d.i64(), Elapsed: time.Duration(d.i64())}
+	decodeCounters(d, &m.Counters)
+	if n := d.count(40, "partial aggregate"); n > 0 {
+		m.Aggs = make([]PartialAgg, n)
+		for i := range m.Aggs {
+			m.Aggs[i] = PartialAgg{
+				Agg: d.str(), Label: d.str(),
+				N: d.i64(), Sum: d.i64(), Min: d.i64(), Max: d.i64(),
+			}
+		}
+	}
+	if n := d.count(4, "partial row"); n > 0 {
+		m.Sample = make([][]object.Value, n)
+		for i := range m.Sample {
+			cols := d.count(1, "partial column")
+			row := make([]object.Value, cols)
+			for j := range row {
+				row[j] = decodeValue(d)
+			}
+			m.Sample[i] = row
+		}
+	}
+	m.Truncated = d.boolv()
+	if err := d.finish("partial"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ShardStat is one shard's entry in a ClusterStats reply: its identity,
+// address, liveness, and — when reachable — its Stats snapshot.
+type ShardStat struct {
+	Idx  uint32
+	Addr string
+	Up   bool
+	// Stats is nil when the shard was unreachable.
+	Stats *Stats
+}
+
+// ClusterStats is the coordinator's per-shard stats view (v5): the rendered
+// shard map plus every shard's snapshot, in shard-index order.
+type ClusterStats struct {
+	// Map is the coordinator's rendered shard map (one line per shard's
+	// chunk-ownership block).
+	Map    string
+	Shards []ShardStat
+}
+
+func (m *ClusterStats) Encode() []byte {
+	var e enc
+	e.str(m.Map)
+	e.u32(uint32(len(m.Shards)))
+	for _, s := range m.Shards {
+		e.u32(s.Idx)
+		e.str(s.Addr)
+		e.bool(s.Up)
+		if s.Stats != nil {
+			e.str(string(s.Stats.Encode()))
+		} else {
+			e.str("")
+		}
+	}
+	return e.b
+}
+
+// DecodeClusterStats parses a TypeClusterStats payload.
+func DecodeClusterStats(b []byte) (*ClusterStats, error) {
+	d := newDec(b)
+	m := &ClusterStats{Map: d.str()}
+	if n := d.count(10, "shard stat"); n > 0 {
+		m.Shards = make([]ShardStat, n)
+		for i := range m.Shards {
+			s := ShardStat{Idx: d.u32(), Addr: d.str(), Up: d.boolv()}
+			if raw := d.str(); raw != "" {
+				st, err := DecodeStats([]byte(raw))
+				if err != nil {
+					return nil, fmt.Errorf("wire: shard %d stats: %w", s.Idx, err)
+				}
+				s.Stats = st
+			}
+			m.Shards[i] = s
+		}
+	}
+	if err := d.finish("cluster stats"); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // counterFields lists every sim.Counters field in wire order. Appending a

@@ -24,7 +24,10 @@ import (
 // v3 added Stats.PlanCacheHits/PlanCacheMisses (plan-cache hit rate).
 // v4 added chosen-plan provenance (Stats.PlansCost/PlansHeuristic/
 // BatchSize/LastOperator).
-const Version uint32 = 4
+// v5 added distributed execution: shard identity in ServerHello and Stats,
+// Scatter/Partial frames for shard-sliced queries, and ClusterStats for the
+// coordinator's per-shard view.
+const Version uint32 = 5
 
 // MaxPayload bounds a frame's payload; larger length prefixes are rejected
 // before any allocation (a malformed or hostile peer cannot make us
@@ -50,6 +53,19 @@ const (
 	TypeStatsReq byte = 0x08
 	// TypeStats carries the snapshot.
 	TypeStats byte = 0x09
+	// TypeScatter asks a shard to execute its slice of one OQL statement
+	// (coordinator → shard, v5).
+	TypeScatter byte = 0x0A
+	// TypePartial carries a shard's slice of a scattered query: rows,
+	// meter readings, mergeable aggregate states and the unsorted sample
+	// (shard → coordinator, v5).
+	TypePartial byte = 0x0B
+	// TypeClusterStatsReq asks a coordinator for its per-shard stats view
+	// (client → coordinator, v5).
+	TypeClusterStatsReq byte = 0x0C
+	// TypeClusterStats carries the coordinator's shard map and each
+	// shard's Stats snapshot (coordinator → client, v5).
+	TypeClusterStats byte = 0x0D
 )
 
 // Error codes carried by TypeError.
@@ -64,6 +80,10 @@ const (
 	CodeShutdown byte = 4
 	// CodeProto is a protocol violation (bad frame, bad handshake).
 	CodeProto byte = 5
+	// CodeShard means a shard required by the query is unreachable or
+	// misconfigured (wrong shard identity, snapshot-key mismatch); the
+	// message names the shard (v5).
+	CodeShard byte = 6
 )
 
 const frameHeaderLen = 5
