@@ -58,6 +58,14 @@ bench-vector:
 bench-dist:
 	./scripts/bench_dist.sh
 
+# WAL group-commit throughput: durable update-wave commits through a
+# writable treebenchd at 1, 4 and 16 concurrent writers, fresh store per
+# writer count. Writes BENCH_wal.json with commits/s and the group-commit
+# ratio; on a machine with at least 4 CPUs the run fails if 16 writers buy
+# less than MIN_SPEEDUP (default 2.0×) over one.
+bench-wal:
+	./scripts/bench_wal.sh
+
 # The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
 experiments:
 	$(GO) run ./cmd/treebench -all
@@ -93,6 +101,12 @@ snap-smoke:
 # mid-run shard kill surfacing the typed shard error.
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+# Write-path smoke: writable treebenchd, commits under query load, kill -9
+# mid-storm, torn WAL tail, offline fsck, reboot recovery byte-diffed
+# against a clean run with the same commit count.
+wal-smoke:
+	./scripts/wal_smoke.sh
 
 clean:
 	rm -rf plots results.csv test_output.txt bench_output.txt

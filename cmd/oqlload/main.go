@@ -7,8 +7,18 @@
 // Usage:
 //
 //	oqlload [-addr 127.0.0.1:8629] -c 8 -n 20 [-e '<stmt;>'] [-f queries.oql]
-//	        [-warm] [-heuristic] [-maxrows 10] [-retries 20] [-coord]
+//	        [-warm] [-heuristic] [-maxrows 10] [-retries 20] [-coord] [-mix F]
 //	oqlload -once -e '<stmt;> [<stmt;> ...]'   # run once, print like oqlsh -e
+//
+// -mix F makes fraction F of each client's operations commits instead of
+// queries (the read/write workload axis): a commit asks the daemon to
+// apply and durably log its next update wave — reassignments, scalar
+// overwrites, and on growth waves the relocation storm. The daemon must
+// be running with -wal; commit wall latency (which includes the shared
+// WAL fsync) is reported separately from query latency, along with the
+// server's chain and WAL counters. Which ops are commits is decided by
+// deterministic error diffusion per client, not a coin flip, so the same
+// flags always issue the same operation sequence.
 //
 // With -f, statements (semicolon-terminated) are read from the file and
 // issued round-robin. -once runs every statement sequentially on one
@@ -51,8 +61,12 @@ func main() {
 		retries   = flag.Int("retries", 20, "connect retries (the daemon may still be generating)")
 		ioTimeout = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 		coord     = flag.Bool("coord", false, "-addr is a treebench-coord: also report the shard map and per-shard stats")
+		mix       = flag.Float64("mix", 0, "fraction of operations that are commits (0 = read-only, 1 = all writes; needs a -wal daemon)")
 	)
 	flag.Parse()
+	if *mix < 0 || *mix > 1 {
+		fatal(fmt.Errorf("-mix %v: want a fraction in [0,1]", *mix))
+	}
 
 	stmts, err := statements(*stmtFlag, *file)
 	if err != nil {
@@ -82,10 +96,12 @@ func main() {
 	}
 
 	type clientReport struct {
-		ok, failed int
-		latencies  []time.Duration
-		simTotal   time.Duration
-		firstErr   error
+		ok, failed   int
+		latencies    []time.Duration
+		simTotal     time.Duration
+		wok, wfailed int
+		wlatencies   []time.Duration
+		firstErr     error
 	}
 	reports := make([]clientReport, *clients)
 	var label string
@@ -106,7 +122,25 @@ func main() {
 			}
 			defer c.Close()
 			labelOnce.Do(func() { label = c.Label() })
+			writes := 0
 			for j := 0; j < *perClient; j++ {
+				// Error diffusion: commit whenever the running write
+				// ratio is below the target, so every client issues
+				// exactly the requested fraction, deterministically.
+				if float64(writes) < *mix*float64(j+1) {
+					writes++
+					t0 := time.Now()
+					if _, err := c.Commit(); err != nil {
+						rep.wfailed++
+						if rep.firstErr == nil {
+							rep.firstErr = err
+						}
+						continue
+					}
+					rep.wok++
+					rep.wlatencies = append(rep.wlatencies, time.Since(t0))
+					continue
+				}
 				stmt := stmts[(id**perClient+j)%len(stmts)]
 				t0 := time.Now()
 				res, err := c.Query(stmt, qopts)
@@ -126,22 +160,29 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var ok, failed int
-	var all []time.Duration
+	var ok, failed, wok, wfailed int
+	var all, wlat []time.Duration
 	var simTotal time.Duration
 	var firstErr error
 	for i := range reports {
 		ok += reports[i].ok
 		failed += reports[i].failed
+		wok += reports[i].wok
+		wfailed += reports[i].wfailed
 		all = append(all, reports[i].latencies...)
+		wlat = append(wlat, reports[i].wlatencies...)
 		simTotal += reports[i].simTotal
 		if firstErr == nil {
 			firstErr = reports[i].firstErr
 		}
 	}
 
-	fmt.Printf("oqlload: %d clients × %d queries against %s (db %s)\n",
-		*clients, *perClient, *addr, label)
+	mixNote := ""
+	if *mix > 0 {
+		mixNote = fmt.Sprintf(", write mix %.0f%%", 100**mix)
+	}
+	fmt.Printf("oqlload: %d clients × %d ops against %s (db %s%s)\n",
+		*clients, *perClient, *addr, label, mixNote)
 	fmt.Printf("queries %d ok %d failed %d in %.2fs wall → %.1f q/s\n",
 		ok+failed, ok, failed, wall.Seconds(), float64(ok)/wall.Seconds())
 	if len(all) > 0 {
@@ -150,6 +191,15 @@ func main() {
 			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1].Round(time.Microsecond))
 		fmt.Printf("simulated time %.2fs total, %.2fs mean per query\n",
 			simTotal.Seconds(), simTotal.Seconds()/float64(ok))
+	}
+	if wok+wfailed > 0 {
+		fmt.Printf("commits %d ok %d failed %d → %.1f commits/s\n",
+			wok+wfailed, wok, wfailed, float64(wok)/wall.Seconds())
+		if len(wlat) > 0 {
+			sort.Slice(wlat, func(i, j int) bool { return wlat[i] < wlat[j] })
+			fmt.Printf("commit latency p50 %s  p95 %s  p99 %s  max %s\n",
+				pct(wlat, 50), pct(wlat, 95), pct(wlat, 99), wlat[len(wlat)-1].Round(time.Microsecond))
+		}
 	}
 	if firstErr != nil {
 		fmt.Printf("first error: %v\n", firstErr)
@@ -177,6 +227,16 @@ func main() {
 				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",
 				st.SimP50ms, st.SimP95ms, st.SimP99ms, st.SimHist)
+			if st.HeadVersion > 0 || st.Commits > 0 {
+				fmt.Printf("server chain: head v%d over base v%d, %d live versions, %d commits, %d compactions\n",
+					st.HeadVersion, st.BaseVersion, st.Versions, st.Commits, st.Compactions)
+				ratio := float64(st.WalRecords)
+				if st.WalSyncs > 0 {
+					ratio = float64(st.WalRecords) / float64(st.WalSyncs)
+				}
+				fmt.Printf("server wal:   %d records (%.1f KiB) in %d syncs (group commit ×%.1f), tail at %d\n",
+					st.WalRecords, float64(st.WalBytes)/1024, st.WalSyncs, ratio, st.WalTail)
+			}
 		}
 		if *coord {
 			if cs, err := c.ClusterStats(); err != nil {

@@ -8,14 +8,24 @@
 //	treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-o FILE]
 //	treebench-snap load   FILE
 //	treebench-snap verify FILE...
+//	treebench-snap chain  DIR
 //	treebench-snap ls     [-dir DIR]
 //	treebench-snap rm     [-dir DIR] [-all] [KEY|FILE ...]
 //
 // save generates the configured database and writes it — to -o, or into
 // the cache directory under its content address. load rebuilds a snapshot
 // from a file and proves it serves queries (a dry run of treebenchd's
-// warm boot). verify checks every section checksum without loading. ls
-// lists the cache; rm removes entries by key prefix or path.
+// warm boot). verify checks every section checksum without loading; for a
+// snapshot committed by the write path it also prints the lineage section
+// (chain version, parent, delta pages, WAL offset). ls lists the cache,
+// with lineage columns for chain-committed entries; rm removes entries by
+// key prefix or path.
+//
+// chain walks a treebenchd -wal store directory read-only: it verifies
+// the base snapshot's checksums, then scans the write-ahead log record by
+// record — CRCs, version continuity from the base, decodable commit
+// bodies — printing one line per commit and reporting (without
+// truncating) a torn tail. It is the offline fsck for the write path.
 //
 // The cache directory is -dir, else $TREEBENCH_SNAPSHOT_DIR, else the
 // user cache directory (persist.DefaultDir).
@@ -32,6 +42,7 @@ import (
 	"treebench/internal/derby"
 	"treebench/internal/persist"
 	"treebench/internal/session"
+	"treebench/internal/wal"
 )
 
 func main() {
@@ -47,6 +58,8 @@ func main() {
 		err = cmdLoad(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "chain":
+		err = cmdChain(os.Args[2:])
 	case "ls":
 		err = cmdLs(os.Args[2:])
 	case "rm":
@@ -70,6 +83,7 @@ func usage() {
   treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-o FILE]
   treebench-snap load   FILE
   treebench-snap verify FILE...
+  treebench-snap chain  DIR
   treebench-snap ls     [-dir DIR]
   treebench-snap rm     [-dir DIR] [-all] [KEY|FILE ...]`)
 }
@@ -164,9 +178,71 @@ func cmdVerify(args []string) error {
 		}
 		fmt.Printf("%s: ok (v%d, %d pages, %d×%d %s)\n",
 			path, m.Version, m.Pages, m.Providers, m.Patients, m.Clustering)
+		if m.Chain.Version > 0 {
+			fmt.Printf("  chain v%d ← v%d, %d delta pages, wal offset %d\n",
+				m.Chain.Version, m.Chain.Parent, m.Chain.DeltaPages, m.Chain.WalOff)
+		}
 		for _, s := range m.Sections {
 			fmt.Printf("  %-11s %12d bytes  crc %08x\n", s.Name, s.Length, s.CRC)
 		}
+	}
+	return nil
+}
+
+// cmdChain is the offline fsck for a -wal store directory: verify the
+// base snapshot, then walk the WAL read-only, checking each commit record
+// decodes and the version sequence is contiguous from the base. Records
+// at or below the base version are compaction leftovers (a crash between
+// base publish and WAL reset) and count as skipped, exactly as boot-time
+// recovery treats them.
+func cmdChain(args []string) error {
+	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("chain wants exactly one store DIR")
+	}
+	dir := fs.Arg(0)
+	base := filepath.Join(dir, "base.tbsp")
+	m, err := persist.Verify(base)
+	if err != nil {
+		return fmt.Errorf("%s: %w", base, err)
+	}
+	fmt.Printf("%s: ok (base v%d, %d pages, %d×%d %s)\n",
+		base, m.Chain.Version, m.Pages, m.Providers, m.Patients, m.Clustering)
+
+	cur := m.Chain.Version
+	skipped := 0
+	walPath := filepath.Join(dir, "wal")
+	rec, err := wal.Scan(walPath, func(off int64, payload []byte) error {
+		r, err := persist.DecodeCommit(payload)
+		if err != nil {
+			return err
+		}
+		if r.Version <= m.Chain.Version {
+			skipped++
+			fmt.Printf("  wal@%-8d v%-4d wave %-4d %4d delta pages  (≤ base, skipped)\n",
+				off, r.Version, r.Wave, len(r.OverlayIDs)+len(r.AppendedPages))
+			return nil
+		}
+		if r.Version != cur+1 {
+			return fmt.Errorf("commit v%d follows v%d: chain gap", r.Version, cur)
+		}
+		cur = r.Version
+		evolved := ""
+		if r.State != nil && len(r.AppendedPages) > 0 {
+			evolved = "  (growth wave)"
+		}
+		fmt.Printf("  wal@%-8d v%-4d wave %-4d %4d delta pages%s\n",
+			off, r.Version, r.Wave, len(r.OverlayIDs)+len(r.AppendedPages), evolved)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", walPath, err)
+	}
+	fmt.Printf("%s: %d commits (%d skipped), head v%d, tail at %d\n",
+		walPath, rec.Records, skipped, cur, rec.Tail)
+	if rec.Torn != nil {
+		fmt.Printf("torn tail (would be truncated on next boot): %v\n", rec.Torn)
 	}
 	return nil
 }
@@ -199,8 +275,13 @@ func cmdLs(args []string) error {
 			continue
 		}
 		key := strings.TrimSuffix(filepath.Base(path), ".tbsp")
-		fmt.Printf("%-16s  %10d bytes  v%d  %d pages  %d×%d %s\n",
-			key[:min(16, len(key))], fi.Size(), m.Version, m.Pages, m.Providers, m.Patients, m.Clustering)
+		lineage := ""
+		if m.Chain.Version > 0 {
+			lineage = fmt.Sprintf("  chain v%d←v%d Δ%dp wal@%d",
+				m.Chain.Version, m.Chain.Parent, m.Chain.DeltaPages, m.Chain.WalOff)
+		}
+		fmt.Printf("%-16s  %10d bytes  v%d  %d pages  %d×%d %s%s\n",
+			key[:min(16, len(key))], fi.Size(), m.Version, m.Pages, m.Providers, m.Patients, m.Clustering, lineage)
 	}
 	return nil
 }

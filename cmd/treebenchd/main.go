@@ -9,6 +9,20 @@
 //	           [-clustering class] [-seed 1997] [-sessions N] [-qj N] [-batch N]
 //	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s]
 //	           [-snapshot-dir DIR] [-save-snapshot] [-shard i/N] [-v]
+//	           [-wal DIR] [-compact-every N]
+//	           [-wave-reassign N] [-wave-scalar N] [-wave-grow-every N] [-wave-upgrades N]
+//
+// -wal DIR makes the daemon writable: the database lives in DIR as a base
+// snapshot (base.tbsp) plus a write-ahead log (wal), opened as an MVCC
+// chain store. Commit frames apply the next update wave and group-commit
+// it to the WAL; on boot the daemon replays the WAL tail over the base
+// (crash recovery), truncating a torn tail if the last run died
+// mid-append. The -wave-* flags set the update-workload knobs and must be
+// kept identical across restarts of the same DIR — the wave sequence is a
+// pure function of (seed, spec), which is what makes recovery
+// byte-identical. -compact-every N folds the chain into a fresh base
+// snapshot and truncates the WAL whenever the head runs N commits ahead
+// of the base (0 disables compaction).
 //
 // -sessions, -qj and -batch fall back to the TREEBENCH_JOBS,
 // TREEBENCH_QUERY_JOBS and TREEBENCH_BATCH environment variables when left
@@ -48,6 +62,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -75,6 +90,12 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
 		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory for instant warm boots (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
 		saveSnap   = flag.Bool("save-snapshot", false, "cache the generated snapshot even without -snapshot-dir (uses the default cache directory)")
+		walDir     = flag.String("wal", "", "writable mode: directory holding the chain base snapshot and write-ahead log (empty = read-only)")
+		compactN   = flag.Int("compact-every", 0, "fold the chain into a fresh base whenever the head is this many commits ahead (0 disables)")
+		wReassign  = flag.Int("wave-reassign", derby.DefaultWaveSpec().Reassign, "patient reassignments per update wave")
+		wScalar    = flag.Int("wave-scalar", derby.DefaultWaveSpec().Scalar, "scalar overwrites per update wave")
+		wGrowEvery = flag.Int("wave-grow-every", derby.DefaultWaveSpec().GrowEvery, "every Nth wave is a schema-growth wave (0 disables growth)")
+		wUpgrades  = flag.Int("wave-upgrades", derby.DefaultWaveSpec().Upgrades, "objects re-encoded per schema-growth wave")
 		verbose    = flag.Bool("v", false, "log sessions and lifecycle to stderr")
 	)
 	flag.Parse()
@@ -104,7 +125,6 @@ func main() {
 		b = core.BatchFromEnv(0)
 	}
 	scfg := server.Config{
-		Source:        snapshotSource(cfg, *snapDir, *saveSnap),
 		Label:         label,
 		Sessions:      n,
 		MaxConcurrent: *maxConc,
@@ -112,6 +132,26 @@ func main() {
 		QueryJobs:     qj,
 		Batch:         b,
 		QueryTimeout:  *timeout,
+	}
+	var store *persist.ChainStore
+	if *walDir != "" {
+		if *shard != "" {
+			fatal(fmt.Errorf("-wal and -shard are mutually exclusive: the write path is single-node"))
+		}
+		spec := derby.WaveSpec{
+			Reassign: *wReassign, Scalar: *wScalar,
+			GrowEvery: *wGrowEvery, Upgrades: *wUpgrades,
+			Seed: cfg.Seed,
+		}
+		store, err = openChainStore(cfg, *walDir, spec)
+		if err != nil {
+			fatal(err)
+		}
+		scfg.Store = store
+		label += " writable"
+		scfg.Label = label
+	} else {
+		scfg.Source = snapshotSource(cfg, *snapDir, *saveSnap)
 	}
 	if *shard != "" {
 		idx, cnt, err := parseShard(*shard)
@@ -142,6 +182,10 @@ func main() {
 		fatal(err)
 	}
 
+	if store != nil && *compactN > 0 {
+		go compactor(store, *compactN, *verbose)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	// The listener line comes from the server's log; print a stable ready
@@ -163,6 +207,67 @@ func main() {
 			fatal(fmt.Errorf("drain: %w", err))
 		}
 		fmt.Println("treebenchd: drained, bye")
+	}
+}
+
+// openChainStore opens (or initializes) the writable chain store in dir:
+// a base snapshot file plus a write-ahead log, replaying the WAL tail
+// over the base on boot. A missing base is generated from cfg and saved
+// first — the write-path analogue of the read-only cache's cold boot.
+func openChainStore(cfg derby.Config, dir string, spec derby.WaveSpec) (*persist.ChainStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	base := filepath.Join(dir, "base.tbsp")
+	if _, err := os.Stat(base); err != nil {
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		fmt.Printf("treebenchd: initializing chain base %s...\n", base)
+		d, err := derby.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sn, err := d.Freeze()
+		if err != nil {
+			return nil, err
+		}
+		if err := persist.Save(base, sn); err != nil {
+			return nil, err
+		}
+	}
+	store, rec, err := persist.OpenChainStore(base, filepath.Join(dir, "wal"), spec)
+	if err != nil {
+		return nil, err
+	}
+	st := store.Stats()
+	torn := ""
+	if rec.Torn != nil {
+		torn = fmt.Sprintf(" (torn tail truncated: %v)", rec.Torn)
+	}
+	fmt.Printf("treebenchd: wal replayed %d commits, head v%d over base v%d%s\n",
+		rec.Records, st.HeadVersion, st.BaseVersion, torn)
+	return store, nil
+}
+
+// compactor folds the chain into a fresh base whenever the head runs n
+// commits ahead, then truncates the WAL — the background compaction that
+// keeps recovery time bounded. It polls; compaction timing never affects
+// data (the head is a pure function of commit count).
+func compactor(store *persist.ChainStore, n int, verbose bool) {
+	for range time.Tick(time.Second) {
+		st := store.Stats()
+		if st.HeadVersion-st.BaseVersion < uint64(n) {
+			continue
+		}
+		v, err := store.Compact()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treebenchd: compaction: %v\n", err)
+			return
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "treebenchd: compacted chain into base v%d (%d versions reclaimed)\n", v, store.GC())
+		}
 	}
 }
 

@@ -74,6 +74,8 @@ func codeName(c byte) string {
 		return "protocol"
 	case wire.CodeShard:
 		return "shard"
+	case wire.CodeReadOnly:
+		return "read-only"
 	default:
 		return fmt.Sprintf("code %d", c)
 	}
@@ -211,6 +213,21 @@ func (c *Client) Scatter(s *wire.Scatter) (*wire.Partial, error) {
 		return nil, asServerError(typ, payload)
 	}
 	return wire.DecodePartial(payload)
+}
+
+// Commit asks the server to apply and durably commit the next update
+// wave on its MVCC chain. The frame carries no payload: which wave runs
+// is the server's decision (always head.version+1), which is what keeps
+// replay deterministic. A read-only server answers with CodeReadOnly.
+func (c *Client) Commit() (*wire.CommitResult, error) {
+	typ, payload, err := c.request(wire.TypeCommit, nil)
+	if err != nil {
+		return nil, err
+	}
+	if typ != wire.TypeCommitResult {
+		return nil, asServerError(typ, payload)
+	}
+	return wire.DecodeCommitResult(payload)
 }
 
 // ClusterStats fetches a coordinator's per-shard stats view. Against a

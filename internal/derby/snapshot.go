@@ -50,6 +50,23 @@ func (s *Snapshot) Fork() *Dataset { return s.bind(s.Engine.Fork()) }
 // waves on such a fork without disturbing the shared image.
 func (s *Snapshot) ForkMutable() *Dataset { return s.bind(s.Engine.ForkMutable()) }
 
+// WithEngine rebinds the snapshot's generation bookkeeping to another
+// engine snapshot of the same database — the next version published by a
+// commit, or a version rebuilt by WAL replay. Rids are stable across
+// commits (relocated records leave forwarding stubs at their old rid),
+// so the rid maps and scale carry over unchanged.
+func (s *Snapshot) WithEngine(es *engine.Snapshot) *Snapshot {
+	return &Snapshot{
+		Engine:       es,
+		numProviders: s.numProviders,
+		numPatients:  s.numPatients,
+		clustering:   s.clustering,
+		providerRids: s.providerRids,
+		patientRids:  s.patientRids,
+		load:         s.load,
+	}
+}
+
 func (s *Snapshot) bind(db *engine.Session) *Dataset {
 	prov, err := db.Extent("Providers")
 	if err != nil {

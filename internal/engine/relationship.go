@@ -50,6 +50,10 @@ func (db *Session) DefineRelationship(parent *Extent, setAttr string, child *Ext
 	return rel, nil
 }
 
+// Relationships returns the session's declared relationships, in
+// definition order.
+func (db *Session) Relationships() []*Relationship { return db.relationships }
+
 // setHead reads a parent's collection head, creating an empty collection
 // in the parent's file if the attribute is still nil.
 func (db *Session) setHead(rel *Relationship, parentRid storage.Rid) (storage.Rid, error) {
@@ -153,6 +157,22 @@ func (rel *Relationship) Children(db *Session, parentRid storage.Rid) ([]storage
 // reference matches exactly one membership, and every set member points
 // back. It is diagnostic support for tests and the shell.
 func (rel *Relationship) VerifyConsistency(db *Session) error {
+	// Relocated children are scanned at their new position but stored in
+	// sets (and referenced everywhere else) by their original rid; map
+	// relocation targets back to the stable identity first.
+	origin := make(map[storage.Rid]storage.Rid)
+	if err := rel.Child.File.ScanForwards(db.Client, func(stub, target storage.Rid) (bool, error) {
+		origin[target] = stub
+		return true, nil
+	}); err != nil {
+		return err
+	}
+	canon := func(rid storage.Rid) storage.Rid {
+		if orig, ok := origin[rid]; ok {
+			return orig
+		}
+		return rid
+	}
 	// Forward: each parent's members point back at it.
 	memberships := make(map[storage.Rid]storage.Rid)
 	err := rel.Parent.File.Scan(db.Client, func(prid storage.Rid, rec []byte) (bool, error) {
@@ -200,7 +220,7 @@ func (rel *Relationship) VerifyConsistency(db *Session) error {
 		if v.Ref.IsNil() {
 			return true, nil
 		}
-		if memberships[crid] != v.Ref {
+		if crid = canon(crid); memberships[crid] != v.Ref {
 			return false, fmt.Errorf("engine: child %s references %s but is not in its set", crid, v.Ref)
 		}
 		return true, nil

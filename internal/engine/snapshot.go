@@ -31,6 +31,14 @@ type Snapshot struct {
 	nextIdx uint32
 	roots   map[string]storage.Rid
 	rels    []*Relationship
+
+	// Chain lineage (see chain.go): position in the MVCC version chain,
+	// the version committed over, and the commit's physical footprint.
+	// All zero for a plain frozen snapshot that was never committed.
+	version    uint64
+	parent     *Snapshot
+	deltaPages int
+	walOff     int64
 }
 
 // Freeze seals the session's database into an immutable Snapshot. The

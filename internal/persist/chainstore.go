@@ -1,0 +1,264 @@
+package persist
+
+import (
+	"fmt"
+	"sync"
+
+	"treebench/internal/derby"
+	"treebench/internal/engine"
+	"treebench/internal/storage"
+	"treebench/internal/wal"
+)
+
+// ChainStore is the durable write path: one base snapshot file, one WAL,
+// and the live MVCC chain between them. Opening replays the WAL tail
+// over the base (torn tails are truncated, records the base already
+// folded in are skipped), Update appends one deterministic wave as the
+// next version, and Compact folds the chain back into a fresh base file
+// and resets the log.
+//
+// Durability protocol per commit, serialized under applyMu:
+//
+//	fork head → apply wave → publish delta → enqueue WAL record →
+//	stamp lineage → append to chain
+//
+// Wait happens outside the lock, so concurrent writers pile into the
+// log's group commit: N commits, one fsync. The wave applied at version
+// v is always wave v — a pure function of (spec, v) — so the head state
+// after N commits is byte-identical no matter how many writers raced,
+// how the log batched, or whether a crash forced replay.
+type ChainStore struct {
+	snapPath string
+	spec     derby.WaveSpec
+
+	chain *engine.Chain
+	log   *wal.Log
+
+	// applyMu serializes fork-apply-publish-enqueue-append; it is never
+	// held across an fsync.
+	applyMu sync.Mutex
+
+	// book is the derby bookkeeping template (scale, rid maps, load
+	// report) — identical across versions, rebound per snapshot.
+	book *derby.Snapshot
+
+	mu          sync.Mutex
+	baseVersion uint64 // version folded into the base snapshot file
+	commits     uint64 // commits performed by this process
+	compactions int
+}
+
+// ChainStats is a point-in-time report of the store.
+type ChainStats struct {
+	HeadVersion uint64
+	BaseVersion uint64 // version of the on-disk base snapshot
+	Versions    int    // live (un-GC'd) chain length
+	Commits     uint64 // commits by this process (replayed ones excluded)
+	Compactions int
+	Wal         wal.Stats
+	WalTail     int64
+}
+
+// OpenChainStore opens the base snapshot at snapPath and replays the WAL
+// at walPath over it. The returned Recovery says how many commits were
+// replayed and whether a torn tail was truncated. A fresh store is made
+// by Save-ing a frozen snapshot to snapPath first; the WAL is created on
+// demand.
+func OpenChainStore(snapPath, walPath string, spec derby.WaveSpec) (*ChainStore, *wal.Recovery, error) {
+	root, err := Load(snapPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	chain := engine.NewChain(root.Engine)
+	cur := root
+	log, rec, err := wal.Open(walPath, func(off int64, payload []byte) error {
+		r, err := DecodeCommit(payload)
+		if err != nil {
+			return err
+		}
+		if r.Version <= cur.Engine.Version() {
+			// Already folded into the base by a compaction that crashed
+			// before it could reset the log.
+			return nil
+		}
+		if r.Version != cur.Engine.Version()+1 {
+			return fmt.Errorf("%w: commit v%d follows v%d in the log",
+				ErrFormat, r.Version, cur.Engine.Version())
+		}
+		next, err := r.Apply(cur, off)
+		if err != nil {
+			return err
+		}
+		if err := chain.Append(next.Engine); err != nil {
+			return err
+		}
+		cur = next
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ChainStore{
+		snapPath:    snapPath,
+		spec:        spec,
+		chain:       chain,
+		log:         log,
+		book:        root,
+		baseVersion: root.Engine.Version(),
+	}, rec, nil
+}
+
+// Spec returns the store's wave spec.
+func (s *ChainStore) Spec() derby.WaveSpec { return s.spec }
+
+// Chain exposes the live version chain (for stats and tooling).
+func (s *ChainStore) Chain() *engine.Chain { return s.chain }
+
+// Head returns the current head bound to the derby bookkeeping. The
+// returned snapshot is immutable and safe to fork from any goroutine;
+// it is not pinned — a long-lived reader should Pin instead.
+func (s *ChainStore) Head() *derby.Snapshot {
+	return s.book.WithEngine(s.chain.Head())
+}
+
+// Pin returns the current head and keeps its version alive until Unpin —
+// the MVCC reader contract: nothing a writer commits can reach a pinned
+// version's pages.
+func (s *ChainStore) Pin() *derby.Snapshot {
+	return s.book.WithEngine(s.chain.Pin())
+}
+
+// Unpin releases a snapshot returned by Pin.
+func (s *ChainStore) Unpin(snap *derby.Snapshot) { s.chain.Unpin(snap.Engine) }
+
+// Update commits the next update wave: fork the head, apply wave
+// (head.version+1), publish the delta, log it, and install the result as
+// the new head. It returns once the commit record is durable (fsynced,
+// possibly sharing the sync with concurrent commits). The returned
+// snapshot is the newly committed version.
+func (s *ChainStore) Update() (*derby.WaveReport, *derby.Snapshot, error) {
+	s.applyMu.Lock()
+	parent := s.chain.Head()
+	version := parent.Version() + 1
+	d := s.book.WithEngine(parent).ForkMutable()
+	rep, err := derby.ApplyWave(d, version, s.spec)
+	if err != nil {
+		s.applyMu.Unlock()
+		return nil, nil, err
+	}
+	sn, delta, err := d.DB.Publish()
+	if err != nil {
+		s.applyMu.Unlock()
+		return nil, nil, err
+	}
+	payload := EncodeCommit(version, version, delta, s.book.WithEngine(sn).State())
+	p, err := s.log.Enqueue(payload)
+	if err != nil {
+		s.applyMu.Unlock()
+		return nil, nil, err
+	}
+	sn.SetLineage(version, delta.Pages(), p.Off)
+	if err := s.chain.Append(sn); err != nil {
+		s.applyMu.Unlock()
+		return nil, nil, err
+	}
+	s.applyMu.Unlock()
+
+	s.mu.Lock()
+	s.commits++
+	s.mu.Unlock()
+	if err := p.Wait(); err != nil {
+		return rep, nil, err
+	}
+	return rep, s.book.WithEngine(sn), nil
+}
+
+// Compact folds the current head into a fresh base snapshot file (saved
+// atomically over snapPath), swaps the head's delta chain for the flat
+// reloaded image, and resets the WAL. Readers pinned on old versions
+// keep them; a crash between the save and the reset is safe — replay
+// skips records the new base already contains. Returns the compacted
+// version.
+func (s *ChainStore) Compact() (uint64, error) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	head := s.chain.Head()
+	s.mu.Lock()
+	base := s.baseVersion
+	s.mu.Unlock()
+	if head.Version() == base {
+		return base, nil
+	}
+	if err := Save(s.snapPath, s.book.WithEngine(head)); err != nil {
+		return 0, err
+	}
+	loaded, err := Load(s.snapPath)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.chain.ReplaceHead(loaded.Engine); err != nil {
+		return 0, err
+	}
+	// Commits already durable are folded into the base; drain any batch
+	// in flight, then checkpoint the log. applyMu keeps new enqueues out.
+	s.log.Sync()
+	if err := s.log.Reset(); err != nil {
+		return 0, err
+	}
+	s.chain.GC()
+	s.mu.Lock()
+	s.baseVersion = head.Version()
+	s.compactions++
+	s.mu.Unlock()
+	return head.Version(), nil
+}
+
+// GC drops unpinned, non-head versions and returns how many were
+// dropped.
+func (s *ChainStore) GC() int { return s.chain.GC() }
+
+// Stats reports the store's counters.
+func (s *ChainStore) Stats() ChainStats {
+	s.mu.Lock()
+	base, commits, compactions := s.baseVersion, s.commits, s.compactions
+	s.mu.Unlock()
+	return ChainStats{
+		HeadVersion: s.chain.Head().Version(),
+		BaseVersion: base,
+		Versions:    s.chain.Len(),
+		Commits:     commits,
+		Compactions: compactions,
+		Wal:         s.log.Stats(),
+		WalTail:     s.log.Tail(),
+	}
+}
+
+// Wal exposes the store's log (for stats and the smoke tooling).
+func (s *ChainStore) Wal() *wal.Log { return s.log }
+
+// Close flushes and closes the WAL. The in-memory chain stays readable.
+func (s *ChainStore) Close() error { return s.log.Close() }
+
+// PageEqual reports whether two snapshots' page images are byte-
+// identical — the determinism check the smoke script and tests run
+// after crash recovery.
+func PageEqual(a, b *derby.Snapshot) (bool, string, error) {
+	ba, bb := a.Engine.Base(), b.Engine.Base()
+	if ba.NumPages() != bb.NumPages() {
+		return false, fmt.Sprintf("page counts differ: %d vs %d", ba.NumPages(), bb.NumPages()), nil
+	}
+	for i := 0; i < ba.NumPages(); i++ {
+		pa, err := ba.Page(storage.PageID(i))
+		if err != nil {
+			return false, "", err
+		}
+		pb, err := bb.Page(storage.PageID(i))
+		if err != nil {
+			return false, "", err
+		}
+		if string(pa) != string(pb) {
+			return false, fmt.Sprintf("page %d differs", i), nil
+		}
+	}
+	return true, "", nil
+}

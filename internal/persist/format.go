@@ -32,7 +32,8 @@ const Magic uint32 = 0x54425350
 // change to the header, section table, or a section's encoding; old
 // readers reject newer files with ErrVersion rather than misparse them,
 // and the cache keys on it so stale files are regenerated, not misread.
-const FormatVersion uint32 = 1
+// v2 added the lineage section (MVCC chain provenance).
+const FormatVersion uint32 = 2
 
 // Section identifiers. The table may list them in any order; each id may
 // appear at most once, and all of them are required.
@@ -60,6 +61,10 @@ const (
 	// SectionDerby: derby generation bookkeeping — scale, clustering,
 	// rid maps, and the load report.
 	SectionDerby uint32 = 8
+	// SectionLineage: the snapshot's position in its MVCC chain — version,
+	// parent version, delta page count and WAL offset of the commit that
+	// produced it (all zero for a freshly generated root).
+	SectionLineage uint32 = 9
 )
 
 // sectionName renders a section id for error messages and manifests.
@@ -81,6 +86,8 @@ func sectionName(id uint32) string {
 		return "histograms"
 	case SectionDerby:
 		return "derby"
+	case SectionLineage:
+		return "lineage"
 	default:
 		return fmt.Sprintf("section-%d", id)
 	}
@@ -90,6 +97,7 @@ func sectionName(id uint32) string {
 var requiredSections = []uint32{
 	SectionMeta, SectionPages, SectionCatalog, SectionRegistry,
 	SectionExtents, SectionTrees, SectionHistograms, SectionDerby,
+	SectionLineage,
 }
 
 // Header and table-entry sizes in bytes.

@@ -131,13 +131,22 @@ func load(f *os.File) (*derby.Snapshot, error) {
 		return nil, err
 	}
 	dst.Engine = est
+	ln, err := decodeLineage(bodies[SectionLineage])
+	if err != nil {
+		return nil, err
+	}
 
 	base := storage.NewLazyBase(numPages, int64(capPages)*storage.PageSize, &fileSource{
 		f:        f,
 		firstOff: int64(pagesEntry.offset) + 8,
 		numPages: numPages,
 	})
-	return derby.RestoreSnapshot(base, dst)
+	snap, err := derby.RestoreSnapshot(base, dst)
+	if err != nil {
+		return nil, err
+	}
+	snap.Engine.SetLineage(ln.Version, ln.DeltaPages, ln.WalOff)
+	return snap, nil
 }
 
 // SectionInfo describes one section for manifests and the snap tool.
@@ -158,6 +167,11 @@ type Manifest struct {
 	Providers  int
 	Patients   int
 	Clustering string
+
+	// Chain provenance (decoded from the lineage section): which MVCC
+	// version this file is, what it was committed over, and where in the
+	// WAL its commit record lives. All zero for a freshly generated root.
+	Chain Lineage
 }
 
 // Inspect reads a snapshot file's header, table, and derby section. Only
@@ -222,6 +236,14 @@ func inspect(f *os.File, path string, verifyAll bool) (*Manifest, error) {
 			m.Providers = dst.NumProviders
 			m.Patients = dst.NumPatients
 			m.Clustering = dst.Clustering.String()
+		case SectionLineage:
+			body, err := readSection(f, e)
+			if err != nil {
+				return nil, err
+			}
+			if m.Chain, err = decodeLineage(body); err != nil {
+				return nil, err
+			}
 		default:
 			if verifyAll {
 				if _, err := readSection(f, e); err != nil {

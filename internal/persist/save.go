@@ -23,7 +23,7 @@ func Save(path string, snap *derby.Snapshot) (err error) {
 	// Encode every catalog section up front; only the page image is
 	// streamed. The catalog is O(classes + files + indexes) — a few KB
 	// even at the 1:3 million-patient scale.
-	var meta, catalog, registry, extents, trees, histograms, dby enc
+	var meta, catalog, registry, extents, trees, histograms, dby, lineage enc
 	encodeMeta(&meta, st.Engine)
 	encodeCatalog(&catalog, st.Engine.Files)
 	encodeRegistry(&registry, st.Engine.Classes)
@@ -31,6 +31,7 @@ func Save(path string, snap *derby.Snapshot) (err error) {
 	encodeTrees(&trees, st.Engine)
 	encodeHistograms(&histograms, st.Engine)
 	encodeDerby(&dby, st)
+	encodeLineage(&lineage, snap.Engine)
 
 	numPages := base.NumPages()
 	capPages := base.CapacityBytes() / storage.PageSize
@@ -49,6 +50,7 @@ func Save(path string, snap *derby.Snapshot) (err error) {
 		{SectionTrees, trees.b, uint64(len(trees.b))},
 		{SectionHistograms, histograms.b, uint64(len(histograms.b))},
 		{SectionDerby, dby.b, uint64(len(dby.b))},
+		{SectionLineage, lineage.b, uint64(len(lineage.b))},
 	}
 
 	// All lengths are known, so the whole table is computable before a

@@ -414,6 +414,39 @@ func decodeDerby(b []byte) (*derby.SnapshotState, error) {
 	return st, nil
 }
 
+// --- lineage ---
+
+// Lineage is a snapshot's position in its MVCC chain, as recorded in the
+// lineage section: all zero for a freshly generated root, stamped by the
+// chain store for every committed or compacted version.
+type Lineage struct {
+	Version    uint64
+	Parent     uint64
+	DeltaPages int   // pages the version's commit shipped (0 for root/compacted)
+	WalOff     int64 // offset of the commit record in the WAL
+}
+
+func encodeLineage(e *enc, sn *engine.Snapshot) {
+	e.u64(sn.Version())
+	e.u64(sn.ParentVersion())
+	e.u32(uint32(sn.DeltaPages()))
+	e.i64(sn.WalOff())
+}
+
+func decodeLineage(b []byte) (Lineage, error) {
+	d := newDec(b, "lineage")
+	ln := Lineage{
+		Version:    d.u64(),
+		Parent:     d.u64(),
+		DeltaPages: int(d.u32()),
+		WalOff:     d.i64(),
+	}
+	if err := d.finish(); err != nil {
+		return Lineage{}, err
+	}
+	return ln, nil
+}
+
 // counterFields enumerates every sim.Counters field in declaration order;
 // like modelFields, additions require a FormatVersion bump.
 func counterFields(c *sim.Counters) []*int64 {

@@ -1,0 +1,158 @@
+package persist
+
+import (
+	"fmt"
+
+	"treebench/internal/derby"
+	"treebench/internal/engine"
+	"treebench/internal/storage"
+)
+
+// WAL commit records. A commit ships everything needed to rebuild the
+// version it created over its parent: the copy-on-write delta (overlaid
+// and appended pages) plus the full post-commit catalog. The catalog is
+// O(classes + files + indexes) — a few KB — so carrying it whole keeps
+// replay a pure RestoreSnapshot instead of a catalog-patching protocol,
+// and reuses the snapshot file's section codecs byte for byte.
+//
+// Payload layout (big-endian, inside one wal record whose length and
+// CRC-32C the log itself frames):
+//
+//	u64 version | u64 wave | u32 parentPages
+//	u32 overlayCount, overlayCount × (u32 pageID + 4 KB page)
+//	u32 appendedCount, appendedCount × 4 KB page
+//	7 × (u32 len + body): meta, catalog, registry, extents, trees,
+//	                      histograms, derby — the snapshot-file sections
+
+// CommitRecord is one decoded WAL commit.
+type CommitRecord struct {
+	Version     uint64
+	Wave        uint64
+	ParentPages int // page count of the parent base, checked before Apply
+
+	OverlayIDs    []storage.PageID
+	OverlayPages  [][]byte // aligned with OverlayIDs
+	AppendedPages [][]byte
+
+	State *derby.SnapshotState
+}
+
+// EncodeCommit serializes a commit: the published delta plus the new
+// version's catalog state.
+func EncodeCommit(version, wave uint64, delta *storage.Delta, st *derby.SnapshotState) []byte {
+	var e enc
+	e.u64(version)
+	e.u64(wave)
+	e.u32(uint32(delta.Parent().NumPages()))
+	ids := delta.OverlayIDs()
+	e.u32(uint32(len(ids)))
+	for _, id := range ids {
+		e.u32(uint32(id))
+		e.b = append(e.b, delta.OverlayPage(id)...)
+	}
+	app := delta.Appended()
+	e.u32(uint32(len(app)))
+	for _, pg := range app {
+		e.b = append(e.b, pg...)
+	}
+	sub := func(fill func(*enc)) {
+		var t enc
+		fill(&t)
+		e.u32(uint32(len(t.b)))
+		e.b = append(e.b, t.b...)
+	}
+	sub(func(t *enc) { encodeMeta(t, st.Engine) })
+	sub(func(t *enc) { encodeCatalog(t, st.Engine.Files) })
+	sub(func(t *enc) { encodeRegistry(t, st.Engine.Classes) })
+	sub(func(t *enc) { encodeExtents(t, st.Engine) })
+	sub(func(t *enc) { encodeTrees(t, st.Engine) })
+	sub(func(t *enc) { encodeHistograms(t, st.Engine) })
+	sub(func(t *enc) { encodeDerby(t, st) })
+	return e.b
+}
+
+// DecodeCommit parses a commit payload. Failures are typed ErrFormat
+// errors, never panics — the payload passed the log's CRC, so a parse
+// failure means writer/reader disagreement, not disk corruption.
+func DecodeCommit(b []byte) (*CommitRecord, error) {
+	d := newDec(b, "commit")
+	r := &CommitRecord{
+		Version:     d.u64(),
+		Wave:        d.u64(),
+		ParentPages: int(d.u32()),
+	}
+	no := d.count(4+storage.PageSize, "overlay page")
+	r.OverlayIDs = make([]storage.PageID, 0, no)
+	r.OverlayPages = make([][]byte, 0, no)
+	for i := 0; i < no; i++ {
+		r.OverlayIDs = append(r.OverlayIDs, storage.PageID(d.u32()))
+		r.OverlayPages = append(r.OverlayPages, d.take(storage.PageSize, "overlay page"))
+	}
+	na := d.count(storage.PageSize, "appended page")
+	r.AppendedPages = make([][]byte, 0, na)
+	for i := 0; i < na; i++ {
+		r.AppendedPages = append(r.AppendedPages, d.take(storage.PageSize, "appended page"))
+	}
+	sub := func(what string) []byte {
+		n := d.u32()
+		return d.take(int(n), what)
+	}
+	est := &engine.SnapshotState{}
+	if err := decodeMeta(sub("meta"), est); err != nil {
+		return nil, err
+	}
+	var err error
+	if est.Files, err = decodeCatalog(sub("catalog")); err != nil {
+		return nil, err
+	}
+	if est.Classes, err = decodeRegistry(sub("registry")); err != nil {
+		return nil, err
+	}
+	if err := decodeExtents(sub("extents"), est); err != nil {
+		return nil, err
+	}
+	if err := decodeTrees(sub("trees"), est); err != nil {
+		return nil, err
+	}
+	if err := decodeHistograms(sub("histograms"), est); err != nil {
+		return nil, err
+	}
+	dst, err := decodeDerby(sub("derby"))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	dst.Engine = est
+	r.State = dst
+	return r, nil
+}
+
+// Apply rebuilds the version a commit record describes over its parent
+// snapshot: the record's pages become a storage.Delta layered on the
+// parent's base, and the record's catalog is restored over the resulting
+// DeltaBase. The returned snapshot has its lineage stamped (walOff is
+// the record's offset in the log) and shares every untouched page with
+// the parent.
+func (r *CommitRecord) Apply(parent *derby.Snapshot, walOff int64) (*derby.Snapshot, error) {
+	base := parent.Engine.Base()
+	if base.NumPages() != r.ParentPages {
+		return nil, fmt.Errorf("%w: commit v%d expects a %d-page parent, have %d pages",
+			ErrFormat, r.Version, r.ParentPages, base.NumPages())
+	}
+	overlay := make(map[storage.PageID][]byte, len(r.OverlayIDs))
+	for i, id := range r.OverlayIDs {
+		overlay[id] = r.OverlayPages[i]
+	}
+	delta, err := storage.NewDelta(base, overlay, r.AppendedPages)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := derby.RestoreSnapshot(storage.NewDeltaBase(delta), r.State)
+	if err != nil {
+		return nil, err
+	}
+	snap.Engine.SetLineage(r.Version, delta.Pages(), walOff)
+	return snap, nil
+}

@@ -136,6 +136,12 @@ func (c *conn) handle(typ byte, payload []byte) bool {
 			return false
 		}
 		return c.scatter(sc)
+	case wire.TypeCommit:
+		if len(payload) != 0 {
+			c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "commit payload must be empty"}).Encode())
+			return false
+		}
+		return c.commit()
 	default:
 		c.send(wire.TypeError, (&wire.Error{Code: wire.CodeProto, Msg: "unknown frame type"}).Encode())
 		return false
@@ -351,6 +357,89 @@ func (c *conn) scatter(sc *wire.Scatter) bool {
 	case <-t.C:
 		// Same abandonment discipline as query(): answer now, let a reaper
 		// free the slot when the stray execution finishes.
+		c.sess = nil
+		c.warmed = false
+		s.metrics.timeout()
+		s.execWg.Add(1)
+		go func() {
+			defer s.execWg.Done()
+			<-done
+			release()
+		}()
+		return c.sendError(wire.CodeTimeout, errQueryTimeout(s.cfg.QueryTimeout))
+	}
+}
+
+// commit admits, applies and durably logs the next update wave on the
+// chain store, then answers with the new version's lineage. Commits go
+// through the same admission gate as queries (a commit occupies one
+// slot) but are not recorded in the query latency metrics — the chain
+// store keeps its own counters, surfaced through Stats.
+func (c *conn) commit() bool {
+	s := c.srv
+	if s.cfg.Store == nil {
+		return c.send(wire.TypeError, (&wire.Error{
+			Code: wire.CodeReadOnly,
+			Msg:  "server: read-only: no WAL-backed chain store configured",
+		}).Encode())
+	}
+	deadline := time.Now().Add(s.cfg.QueryTimeout)
+
+	release, code, err := s.admit(deadline)
+	if err != nil {
+		return c.sendError(code, err)
+	}
+
+	type reply struct {
+		typ     byte
+		payload []byte
+	}
+	done := make(chan reply, 1)
+	s.execWg.Add(1)
+	s.busy.Add(1)
+	go func() {
+		defer s.execWg.Done()
+		defer s.busy.Add(-1)
+		if s.beforeExecute != nil {
+			s.beforeExecute()
+		}
+		start := time.Now()
+		rep, sn, err := s.cfg.Store.Update()
+		if err != nil {
+			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}
+			return
+		}
+		done <- reply{wire.TypeCommitResult, (&wire.CommitResult{
+			Version:    sn.Engine.Version(),
+			Wave:       rep.Wave,
+			Reassigned: int64(rep.Reassigned),
+			Scalars:    int64(rep.Scalars),
+			Evolved:    rep.Evolved,
+			Upgraded:   int64(rep.Upgraded),
+			Relocated:  int64(rep.Relocated),
+			DeltaPages: int64(sn.Engine.DeltaPages()),
+			WalOff:     sn.Engine.WalOff(),
+			WallUs:     time.Since(start).Microseconds(),
+		}).Encode()}
+	}()
+
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case rep := <-done:
+		release()
+		if rep.typ == wire.TypeCommitResult {
+			// Drop the cached session so this connection's next query
+			// forks from the head it just committed. Other connections
+			// keep the version they pinned — that is the MVCC contract.
+			c.sess = nil
+			c.warmed = false
+		}
+		return c.send(rep.typ, rep.payload)
+	case <-t.C:
+		// Same abandonment discipline as query(): the commit itself still
+		// completes durably (the store serializes it); only this client
+		// stops waiting. A reaper frees the admission slot.
 		c.sess = nil
 		c.warmed = false
 		s.metrics.timeout()

@@ -39,6 +39,7 @@ import (
 	"treebench/internal/core"
 	"treebench/internal/derby"
 	"treebench/internal/engine"
+	"treebench/internal/persist"
 	"treebench/internal/wire"
 )
 
@@ -57,6 +58,12 @@ type Config struct {
 	// every session forks from the frozen result. Superseded by Source,
 	// kept for callers that always generate.
 	Generate func() (*derby.Dataset, error)
+	// Store, when non-nil, makes the server writable: queries fork from
+	// the MVCC chain's current head instead of one frozen snapshot, and
+	// Commit frames apply+durably log the next update wave through it.
+	// Supersedes Source and Generate. A nil Store rejects commits with
+	// CodeReadOnly.
+	Store *persist.ChainStore
 	// Label names the served database in the handshake.
 	Label string
 	// Sessions sizes the server for that many concurrently executing
@@ -131,8 +138,8 @@ type Server struct {
 
 // New validates cfg and returns an unstarted server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Source == nil && cfg.Generate == nil {
-		return nil, fmt.Errorf("server: Config.Source or Config.Generate is required")
+	if cfg.Source == nil && cfg.Generate == nil && cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Source, Config.Generate or Config.Store is required")
 	}
 	if cfg.Sessions == 0 {
 		cfg.Sessions = core.JobsFromEnv(core.DefaultJobs())
@@ -177,6 +184,19 @@ func (s *Server) logf(format string, args ...any) {
 // snapshot) saves every forked session the lazy ANALYZE scan session.New
 // would otherwise pay — without changing any reported number.
 func (s *Server) snapshot() (*derby.Snapshot, error) {
+	if s.cfg.Store != nil {
+		// Store mode: every call reads the chain's current head, so a
+		// session forked after a commit sees the new version while earlier
+		// forks keep reading the version they pinned. Heads are not primed
+		// here — each version is short-lived relative to a frozen snapshot
+		// and sessions prime lazily (wall-clock only, no reported number
+		// changes).
+		sn := s.cfg.Store.Head()
+		source := "chain"
+		s.snapSource.Store(&source)
+		s.snap.Store(sn)
+		return sn, nil
+	}
 	return s.snapFlight.Do(struct{}{}, func() (*derby.Snapshot, error) {
 		var (
 			sn     *derby.Snapshot
@@ -318,6 +338,18 @@ func (s *Server) Stats() *wire.Stats {
 	st := s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes, batch, source)
 	st.ShardIdx = int64(s.cfg.ShardIdx)
 	st.ShardCnt = int64(s.cfg.ShardCnt)
+	if s.cfg.Store != nil {
+		cs := s.cfg.Store.Stats()
+		st.HeadVersion = int64(cs.HeadVersion)
+		st.BaseVersion = int64(cs.BaseVersion)
+		st.Versions = int64(cs.Versions)
+		st.Commits = int64(cs.Commits)
+		st.Compactions = int64(cs.Compactions)
+		st.WalRecords = int64(cs.Wal.Records)
+		st.WalBytes = int64(cs.Wal.Bytes)
+		st.WalSyncs = int64(cs.Wal.Syncs)
+		st.WalTail = cs.WalTail
+	}
 	return st
 }
 

@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta is the page-image difference a committed mutable fork carries
+// over its parent base: copy-on-write overlays of existing pages plus
+// pages appended past the parent's end. It is what a commit writes to
+// the WAL and what a DeltaBase serves on top of its parent.
+type Delta struct {
+	parent   *Base
+	overlay  map[PageID][]byte // COW copies of parent pages
+	appended [][]byte          // pages allocated past the parent, in id order
+}
+
+// Parent returns the base the delta applies to.
+func (d *Delta) Parent() *Base { return d.parent }
+
+// OverlayIDs returns the overlaid parent page ids in ascending order —
+// the canonical order every encoding of the delta uses.
+func (d *Delta) OverlayIDs() []PageID {
+	ids := make([]PageID, 0, len(d.overlay))
+	for id := range d.overlay {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// OverlayPage returns the delta's copy of parent page id, or nil.
+func (d *Delta) OverlayPage(id PageID) []byte { return d.overlay[id] }
+
+// Appended returns the pages allocated past the parent's end, in order.
+func (d *Delta) Appended() [][]byte { return d.appended }
+
+// Pages returns the number of pages the delta carries (overlay +
+// appended) — what the commit record physically ships.
+func (d *Delta) Pages() int { return len(d.overlay) + len(d.appended) }
+
+// NewDelta builds a delta from explicit parts (the WAL-replay path).
+// Every overlay id must fall inside the parent and every buffer must be
+// PageSize bytes; the maps and slices are owned by the delta from here.
+func NewDelta(parent *Base, overlay map[PageID][]byte, appended [][]byte) (*Delta, error) {
+	for id, buf := range overlay {
+		if int(id) >= parent.NumPages() {
+			return nil, fmt.Errorf("storage: delta overlays page %d beyond parent (%d pages)", id, parent.NumPages())
+		}
+		if len(buf) != PageSize {
+			return nil, fmt.Errorf("storage: delta overlay page %d is %d bytes", id, len(buf))
+		}
+	}
+	for i, buf := range appended {
+		if len(buf) != PageSize {
+			return nil, fmt.Errorf("storage: delta appended page %d is %d bytes", i, len(buf))
+		}
+	}
+	return &Delta{parent: parent, overlay: overlay, appended: appended}, nil
+}
+
+// DeltaBase layers a committed delta over its parent base: reads hit the
+// overlay first, then the appended pages, then fall through to the
+// parent. Like any Base it is immutable and safe for concurrent use —
+// it is how a published snapshot version shares everything it did not
+// change with the version it forked from, so a chain of K commits costs
+// the pages they touched, never K copies of the database.
+//
+// NewDeltaBase returns a *Base so forks, freezes-into and the persist
+// page streamers are oblivious to chaining.
+func NewDeltaBase(d *Delta) *Base {
+	return &Base{
+		n:        d.parent.n + len(d.appended),
+		capacity: d.parent.capacity,
+		delta:    d,
+	}
+}
+
+// Delta returns the delta this base layers over its parent, or nil for
+// a flat (frozen or loaded) base. The compactor uses it to walk a chain;
+// readers never need it.
+func (b *Base) Delta() *Delta { return b.delta }
+
+// Promote seals a mutable fork's private pages into a Delta and rewires
+// the disk as a read-only fork of the resulting DeltaBase. It is the
+// commit-side sibling of Freeze: after Promote the session that built
+// the delta keeps answering queries over the now-shared pages but can
+// never mutate them — critically, its reads no longer populate the
+// overlay map, which the new base now owns and shares with every future
+// fork.
+func (d *Disk) Promote() (*Base, *Delta, error) {
+	if d.base == nil {
+		return nil, nil, fmt.Errorf("storage: promote of an exclusive disk; use Freeze")
+	}
+	if d.readOnly || d.overlay == nil {
+		return nil, nil, fmt.Errorf("storage: promote of a read-only fork")
+	}
+	delta := &Delta{parent: d.base, overlay: d.overlay, appended: d.pages[:len(d.pages):len(d.pages)]}
+	nb := NewDeltaBase(delta)
+	d.base = nb
+	d.overlay = nil
+	d.pages = nil
+	d.readOnly = true
+	return nb, delta, nil
+}

@@ -57,6 +57,8 @@ type Base struct {
 
 	src   PageSource               // lazy page supplier; nil for an eager base
 	cells []atomic.Pointer[[]byte] // lazily faulted pages, indexed by PageID
+
+	delta *Delta // chained base: a committed delta over delta.parent; nil for a flat base
 }
 
 // NewBase builds an eager Base directly from page buffers (the
@@ -97,6 +99,15 @@ func (b *Base) CapacityBytes() int64 { return int64(b.capacity) * PageSize }
 func (b *Base) Page(id PageID) ([]byte, error) {
 	if int(id) >= b.n {
 		return nil, fmt.Errorf("%w: %d", ErrNoPage, id)
+	}
+	if b.delta != nil {
+		if buf, ok := b.delta.overlay[id]; ok {
+			return buf, nil
+		}
+		if pn := b.delta.parent.n; int(id) >= pn {
+			return b.delta.appended[int(id)-pn], nil
+		}
+		return b.delta.parent.Page(id)
 	}
 	if b.src == nil {
 		return b.pages[id], nil

@@ -301,6 +301,46 @@ func (f *File) ScanRange(p Pager, from, to int, fn func(rid Rid, rec []byte) (bo
 	return nil
 }
 
+// ScanForwards calls fn for every forwarding stub in the file with the
+// stub's rid (the record's original, stable identity) and its relocation
+// target. Diagnostics like relationship verification use it to
+// canonicalize the rids a relocation-scarred Scan reports back to the
+// identities the rest of the database stores.
+func (f *File) ScanForwards(p Pager, fn func(stub, target Rid) (bool, error)) error {
+	for _, id := range f.Pages {
+		buf, err := p.Read(id)
+		if err != nil {
+			return err
+		}
+		page := LoadPage(buf)
+		n := page.NumSlots()
+		for s := 0; s < n; s++ {
+			rec, forwarded, err := page.Get(uint16(s))
+			if errors.Is(err, ErrNoRecord) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if !forwarded {
+				continue
+			}
+			target, err := DecodeRid(rec)
+			if err != nil {
+				return err
+			}
+			ok, err := fn(Rid{Page: id, Slot: uint16(s)}, target)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
 // Store is the catalog of files on one disk. File metadata lives in memory;
 // persisting the catalog itself is outside the scope of the reproduction.
 type Store struct {

@@ -3,6 +3,12 @@
 // budget (exceeding it is the "out of memory" failure the authors hit), a
 // write-ahead log whose cost vanishes in transaction-off loading mode, and
 // per-operation lock management.
+//
+// Loading is the transaction-off special case. Online update waves
+// (derby.ApplyWave, the chain store's commit path) always run under a
+// Standard-mode Manager: every operation takes a lock and every commit
+// charges log pages — the simulated shadow of the real WAL append
+// internal/wal performs for the same commit.
 package txn
 
 import (
@@ -121,17 +127,6 @@ func (t *Txn) NoteUpdate(recBytes int) error {
 	if t.mgr.mode == Standard {
 		t.mgr.meter.Lock()
 		t.logBytes += 2 * int64(recBytes)
-	}
-	return nil
-}
-
-// NoteRead records a read lock acquisition.
-func (t *Txn) NoteRead() error {
-	if !t.active {
-		return ErrNotActive
-	}
-	if t.mgr.mode == Standard {
-		t.mgr.meter.Lock()
 	}
 	return nil
 }

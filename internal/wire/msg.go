@@ -246,6 +246,18 @@ type Stats struct {
 	// standalone single-node server (v5).
 	ShardIdx int64
 	ShardCnt int64
+
+	// Write path (v6): the MVCC chain and WAL counters, all zero on a
+	// read-only server without a chain store.
+	HeadVersion int64 // current head version of the chain
+	BaseVersion int64 // version folded into the on-disk base snapshot
+	Versions    int64 // live (un-GC'd) versions in the chain
+	Commits     int64 // commits performed by this server process
+	Compactions int64 // compactions performed by this server process
+	WalRecords  int64 // records appended to the WAL since boot
+	WalBytes    int64 // payload bytes appended to the WAL since boot
+	WalSyncs    int64 // fsync batches — Records/Syncs is the group-commit ratio
+	WalTail     int64 // current WAL end offset
 }
 
 func (m *Stats) Encode() []byte {
@@ -259,6 +271,8 @@ func (m *Stats) Encode() []byte {
 		m.PlanCacheHits, m.PlanCacheMisses,
 		m.PlansCost, m.PlansHeuristic, m.BatchSize,
 		m.ShardIdx, m.ShardCnt,
+		m.HeadVersion, m.BaseVersion, m.Versions, m.Commits, m.Compactions,
+		m.WalRecords, m.WalBytes, m.WalSyncs, m.WalTail,
 	} {
 		e.i64(v)
 	}
@@ -282,6 +296,8 @@ func DecodeStats(b []byte) (*Stats, error) {
 		&m.PlanCacheHits, &m.PlanCacheMisses,
 		&m.PlansCost, &m.PlansHeuristic, &m.BatchSize,
 		&m.ShardIdx, &m.ShardCnt,
+		&m.HeadVersion, &m.BaseVersion, &m.Versions, &m.Commits, &m.Compactions,
+		&m.WalRecords, &m.WalBytes, &m.WalSyncs, &m.WalTail,
 	} {
 		*p = d.i64()
 	}
@@ -478,6 +494,53 @@ func DecodeClusterStats(b []byte) (*ClusterStats, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// CommitResult answers a TypeCommit: the lineage of the version the
+// commit created plus the wave's physical effects (v6). WallUs is the
+// wall-clock commit latency including the shared fsync — the number the
+// oqlload -mix axis aggregates.
+type CommitResult struct {
+	Version    uint64
+	Wave       uint64
+	Reassigned int64
+	Scalars    int64
+	Evolved    bool
+	Upgraded   int64
+	Relocated  int64
+	DeltaPages int64
+	WalOff     int64
+	WallUs     int64
+}
+
+func (m *CommitResult) Encode() []byte {
+	var e enc
+	e.u64(m.Version)
+	e.u64(m.Wave)
+	e.i64(m.Reassigned)
+	e.i64(m.Scalars)
+	e.bool(m.Evolved)
+	e.i64(m.Upgraded)
+	e.i64(m.Relocated)
+	e.i64(m.DeltaPages)
+	e.i64(m.WalOff)
+	e.i64(m.WallUs)
+	return e.b
+}
+
+// DecodeCommitResult parses a TypeCommitResult payload.
+func DecodeCommitResult(b []byte) (*CommitResult, error) {
+	d := newDec(b)
+	m := &CommitResult{Version: d.u64(), Wave: d.u64()}
+	m.Reassigned = d.i64()
+	m.Scalars = d.i64()
+	m.Evolved = d.boolv()
+	m.Upgraded = d.i64()
+	m.Relocated = d.i64()
+	m.DeltaPages = d.i64()
+	m.WalOff = d.i64()
+	m.WallUs = d.i64()
+	return m, d.finish("commit result")
 }
 
 // counterFields lists every sim.Counters field in wire order. Appending a

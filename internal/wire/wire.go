@@ -27,7 +27,10 @@ import (
 // v5 added distributed execution: shard identity in ServerHello and Stats,
 // Scatter/Partial frames for shard-sliced queries, and ClusterStats for the
 // coordinator's per-shard view.
-const Version uint32 = 5
+// v6 added the write path: Commit/CommitResult frames for update-wave
+// commits against a WAL-backed MVCC chain, chain + WAL counters in Stats,
+// and CodeReadOnly for commit attempts against a store-less server.
+const Version uint32 = 6
 
 // MaxPayload bounds a frame's payload; larger length prefixes are rejected
 // before any allocation (a malformed or hostile peer cannot make us
@@ -66,6 +69,15 @@ const (
 	// TypeClusterStats carries the coordinator's shard map and each
 	// shard's Stats snapshot (coordinator → client, v5).
 	TypeClusterStats byte = 0x0D
+	// TypeCommit asks the server to apply and durably commit the next
+	// update wave on its MVCC chain (client → server, v6). The payload is
+	// empty: the wave applied is always head.version+1, a pure function of
+	// the server's wave spec — clients cannot choose what to write, only
+	// that a write happens, which is what keeps replay deterministic.
+	TypeCommit byte = 0x0E
+	// TypeCommitResult carries the committed version's lineage and the
+	// wave's physical effects (server → client, v6).
+	TypeCommitResult byte = 0x0F
 )
 
 // Error codes carried by TypeError.
@@ -84,6 +96,9 @@ const (
 	// misconfigured (wrong shard identity, snapshot-key mismatch); the
 	// message names the shard (v5).
 	CodeShard byte = 6
+	// CodeReadOnly means the server has no WAL-backed chain store and
+	// rejects commits (v6).
+	CodeReadOnly byte = 7
 )
 
 const frameHeaderLen = 5

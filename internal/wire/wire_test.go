@@ -123,6 +123,27 @@ func TestMessageRoundTrips(t *testing.T) {
 	if got, err := DecodeStats(st.Encode()); err != nil || *got != *st {
 		t.Fatalf("stats round trip: %+v, %v", got, err)
 	}
+
+	wst := &Stats{
+		HeadVersion: 12, BaseVersion: 8, Versions: 5,
+		Commits: 12, Compactions: 2,
+		WalRecords: 4, WalBytes: 1 << 20, WalSyncs: 3, WalTail: 1<<20 + 16,
+	}
+	if got, err := DecodeStats(wst.Encode()); err != nil || *got != *wst {
+		t.Fatalf("write-path stats round trip: %+v, %v", got, err)
+	}
+
+	cr := &CommitResult{
+		Version: 7, Wave: 7,
+		Reassigned: 120, Scalars: 80, Evolved: true, Upgraded: 40,
+		Relocated: 13, DeltaPages: 96, WalOff: 40960, WallUs: 1800,
+	}
+	if got, err := DecodeCommitResult(cr.Encode()); err != nil || *got != *cr {
+		t.Fatalf("commit result round trip: %+v, %v", got, err)
+	}
+	if _, err := DecodeCommitResult(cr.Encode()[:10]); err == nil {
+		t.Fatal("truncated commit result accepted")
+	}
 }
 
 func TestShardMessageRoundTrips(t *testing.T) {

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Measures what group commit buys: commit throughput through a writable
+# treebenchd at 1, 4 and 16 concurrent writers. Every commit is durable
+# (applied wave + WAL append + fsync) before its client gets an answer;
+# the leader-based group commit batches concurrent appends into shared
+# fsyncs, so throughput should scale well past what one fsync-per-commit
+# would allow. Each writer count gets a fresh store so the group-commit
+# ratio (records per fsync) reads cleanly from the server's own counters.
+#
+# Writes BENCH_wal.json with commits/s and the group-commit ratio per
+# writer count, and fails if 16 writers buy less than MIN_SPEEDUP×
+# (default 2.0) over 1 writer — enforced only on machines with at least
+# four CPUs; below that the concurrency being measured cannot run.
+#
+#   COMMITS=64        commits measured per writer count (default 48)
+#   MIN_SPEEDUP=2.5   gate to enforce (default 2.0)
+#   BENCH_WAL_OUT=f   output path (default BENCH_wal.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_WAL_OUT:-BENCH_wal.json}
+MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
+COMMITS=${COMMITS:-48}
+ADDR=${BENCH_WAL_ADDR:-127.0.0.1:8663}
+DB=(-providers 40 -avg 10 -clustering class)
+
+CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+WORK=$(mktemp -d)
+DPID=
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/treebenchd" ./cmd/treebenchd
+go build -o "$WORK/oqlload" ./cmd/oqlload
+
+wait_ready() {
+  for _ in $(seq 1 600); do
+    grep -q "serving" "$1" 2>/dev/null && return 0
+    sleep 0.5
+  done
+  echo "bench-wal: daemon did not become ready" >&2
+  cat "$1" >&2
+  exit 1
+}
+
+# measure N → CPS (commits/s) and RATIO (records per fsync) for COMMITS
+# commits issued by N concurrent writers against a fresh store.
+measure() {
+  local n=$1 per=$((COMMITS / $1))
+  "$WORK/treebenchd" -addr "$ADDR" "${DB[@]}" -sessions 16 -wal "$WORK/db$n" \
+    > "$WORK/d$n.log" 2>&1 &
+  DPID=$!
+  wait_ready "$WORK/d$n.log"
+  "$WORK/oqlload" -addr "$ADDR" -c "$n" -n "$per" -mix 1 > "$WORK/load$n.txt"
+  CPS=$(sed -n 's/.*→ \([0-9.]*\) commits\/s/\1/p' "$WORK/load$n.txt")
+  RATIO=$(sed -n 's/.*group commit ×\([0-9.]*\).*/\1/p' "$WORK/load$n.txt")
+  if [ -z "$CPS" ] || [ -z "$RATIO" ]; then
+    echo "bench-wal: could not parse oqlload report for $n writers" >&2
+    cat "$WORK/load$n.txt" >&2
+    exit 1
+  fi
+  kill "$DPID" && wait "$DPID" 2>/dev/null || true
+  DPID=
+}
+
+measure 1;  C1=$CPS;  R1=$RATIO
+measure 4;  C4=$CPS;  R4=$RATIO
+measure 16; C16=$CPS; R16=$RATIO
+
+SPEEDUP4=$(awk -v a="$C1" -v b="$C4" 'BEGIN { printf "%.2f", b / a }')
+SPEEDUP16=$(awk -v a="$C1" -v b="$C16" 'BEGIN { printf "%.2f", b / a }')
+
+ENFORCED=false
+if [ "$CPUS" -ge 4 ]; then
+  ENFORCED=true
+fi
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "durable update-wave commits through treebenchd -wal (group commit)",
+  "commits_per_writer_count": $COMMITS,
+  "writers_1_commits_per_s": $C1,
+  "writers_4_commits_per_s": $C4,
+  "writers_16_commits_per_s": $C16,
+  "writers_1_group_ratio": $R1,
+  "writers_4_group_ratio": $R4,
+  "writers_16_group_ratio": $R16,
+  "speedup_4": $SPEEDUP4,
+  "speedup_16": $SPEEDUP16,
+  "cpus": $CPUS,
+  "min_speedup": $MIN_SPEEDUP,
+  "gate_enforced": $ENFORCED
+}
+EOF
+echo "bench-wal: 1 writer ${C1}/s (×${R1}), 4 writers ${C4}/s (×${R4}), 16 writers ${C16}/s (×${R16}) on ${CPUS} CPUs (wrote $OUT)"
+
+if [ "$ENFORCED" = true ]; then
+  awk -v sp="$SPEEDUP16" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp + 0 >= min + 0) }' || {
+    echo "bench-wal: 16-writer speedup ${SPEEDUP16}x below required ${MIN_SPEEDUP}x" >&2
+    exit 1
+  }
+else
+  echo "bench-wal: ${CPUS} CPUs < 4, speedup gate recorded but not enforced"
+fi
