@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-fork bench-snap bench-query bench-vector bench-dist experiments experiments-full plots cover fuzz smoke snap-smoke dist-smoke clean
+.PHONY: all build test race bench bench-fork bench-snap bench-query bench-vector bench-dist bench-index experiments experiments-full plots cover fuzz smoke snap-smoke dist-smoke clean
 
 all: build test
 
@@ -65,6 +65,16 @@ bench-dist:
 # less than MIN_SPEEDUP (default 2.0×) over one.
 bench-wal:
 	./scripts/bench_wal.sh
+
+# Index-backend ablation: the B1 experiment (in-memory B+-tree vs paged
+# on-disk B+-tree vs LSM-tree with bloom filters) recorded as
+# BENCH_index.json. Enforced on every runner — the numbers are simulated
+# page counts: LSM update waves must write fewer pages than the B+-tree's
+# (write absorption), LSM post-wave point scans must read more (read
+# amplification), and bloom probes must skip at least MIN_BLOOM_SKIP%
+# (default 50) of candidate SSTables.
+bench-index:
+	./scripts/bench_index.sh
 
 # The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
 experiments:

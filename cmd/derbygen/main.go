@@ -90,7 +90,7 @@ func main() {
 				kind = "clustered"
 			}
 			fmt.Printf("  %s.%s: %d entries, %d pages, height %d (%s)\n",
-				extName, ix.Attr, ix.Tree.Len(), ix.Tree.Pages(), ix.Tree.Height(), kind)
+				extName, ix.Attr, ix.Backend.Len(), ix.Backend.Pages(), ix.Backend.Height(), kind)
 		}
 	}
 
@@ -114,12 +114,12 @@ func runVerify(d *treebench.Dataset) error {
 			return err
 		}
 		for _, ix := range ext.Indexes() {
-			if err := ix.Tree.Validate(db.Client); err != nil {
+			if err := ix.Backend.Validate(db.Client); err != nil {
 				return fmt.Errorf("index %s.%s: %w", extName, ix.Attr, err)
 			}
-			if ix.Tree.Len() != ext.Count {
+			if ix.Backend.Len() != ext.Count {
 				return fmt.Errorf("index %s.%s holds %d entries for %d objects",
-					extName, ix.Attr, ix.Tree.Len(), ext.Count)
+					extName, ix.Attr, ix.Backend.Len(), ext.Count)
 			}
 		}
 		fmt.Printf("  %s: %d objects, %d indexes consistent\n", extName, ext.Count, len(ext.Indexes()))

@@ -223,6 +223,11 @@ func main() {
 				fmt.Printf("server plans: %d cost-based, %d heuristic, batch %d, last operator %s\n",
 					st.PlansCost, st.PlansHeuristic, st.BatchSize, st.LastOperator)
 			}
+			if st.IndexBackend != "" {
+				fmt.Printf("server index backend: %s (bloom %d hits / %d misses, sstables read %d, compactions %d, pages written %d)\n",
+					st.IndexBackend, st.BackendBloomHits, st.BackendBloomMisses,
+					st.BackendSSTablesRead, st.BackendCompactions, st.BackendPagesWritten)
+			}
 			fmt.Printf("server wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
 				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",

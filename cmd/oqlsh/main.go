@@ -6,6 +6,7 @@
 // Usage:
 //
 //	oqlsh [-providers 200] [-avg 50] [-clustering class] [-strategy cost]
+//	      [-index-backend btree|disk|lsm]   # falls back to TREEBENCH_INDEX_BACKEND
 //	oqlsh -e 'select ... ;'   # non-interactive: run statements, then exit
 //	oqlsh -f script.oql       # non-interactive: run a script file
 //	oqlsh -warm -e '...'      # keep caches warm between statements
@@ -62,6 +63,7 @@ func main() {
 		maxRows    = flag.Int("maxrows", 10, "sample rows printed per query in -coord mode")
 		qjobs      = flag.Int("qj", 0, "intra-query workers (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); output identical at any setting)")
 		batch      = flag.Int("batch", 0, "vectorized-execution batch size (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; output identical at any setting)")
+		ixBackend  = flag.String("index-backend", "", "index backend: btree, disk, or lsm (default from TREEBENCH_INDEX_BACKEND or btree; output identical across backends)")
 	)
 	flag.Parse()
 	scripted := *stmts != "" || *script != ""
@@ -91,6 +93,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	kind := *ixBackend
+	if kind == "" {
+		kind = treebench.IndexBackendFromEnv("")
+	}
+	if kind != "" {
+		if err := treebench.CheckIndexBackend(kind); err != nil {
+			fmt.Fprintln(os.Stderr, "oqlsh:", err)
+			os.Exit(2)
+		}
+	}
+
 	// Progress stays off stdout in scripted mode so stdout is exactly the
 	// query output.
 	progress := io.Writer(os.Stdout)
@@ -99,7 +112,9 @@ func main() {
 	}
 	fmt.Fprintf(progress, "generating %d providers × %d patients (%s clustering)...\n",
 		*providers, (*providers)*(*avg), cl)
-	d, err := treebench.GenerateDerby(treebench.DerbyConfig(*providers, *avg, cl))
+	dcfg := treebench.DerbyConfig(*providers, *avg, cl)
+	dcfg.IndexBackend = kind
+	d, err := treebench.GenerateDerby(dcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oqlsh:", err)
 		os.Exit(1)
@@ -113,9 +128,10 @@ func main() {
 		b = treebench.BatchFromEnv(0)
 	}
 	sh := shell.NewWith(d.DB, session.Config{
-		QueryJobs: qj,
-		Batch:     b,
-		PlanCache: oql.NewPlanCache(0),
+		QueryJobs:    qj,
+		Batch:        b,
+		PlanCache:    oql.NewPlanCache(0),
+		IndexBackend: kind,
 	})
 	if strings.HasPrefix(*strategy, "heur") {
 		sh.Planner.Strategy = oql.Heuristic

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-o FILE]
+//	treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-index-backend K] [-o FILE]
 //	treebench-snap load   FILE
 //	treebench-snap verify FILE...
 //	treebench-snap chain  DIR
@@ -39,6 +39,8 @@ import (
 	"sort"
 	"strings"
 
+	"treebench/internal/backend"
+	"treebench/internal/core"
 	"treebench/internal/derby"
 	"treebench/internal/persist"
 	"treebench/internal/session"
@@ -80,7 +82,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-o FILE]
+  treebench-snap save   [-providers N] [-avg N] [-clustering C] [-seed N] [-index-backend K] [-o FILE]
   treebench-snap load   FILE
   treebench-snap verify FILE...
   treebench-snap chain  DIR
@@ -105,6 +107,7 @@ func cmdSave(args []string) error {
 	avg := fs.Int("avg", 50, "average patients per provider")
 	clustering := fs.String("clustering", "class", "class, random, composition")
 	seed := fs.Int("seed", 1997, "data generator seed")
+	ixBackend := fs.String("index-backend", "", "index backend: btree, disk, or lsm (default from TREEBENCH_INDEX_BACKEND or btree)")
 	out := fs.String("o", "", "output file (default: cache dir under the content address)")
 	dir := dirFlag(fs)
 	fs.Parse(args)
@@ -113,8 +116,18 @@ func cmdSave(args []string) error {
 	if err != nil {
 		return err
 	}
+	kind := *ixBackend
+	if kind == "" {
+		kind = core.IndexBackendFromEnv("")
+	}
+	if kind != "" {
+		if err := backend.CheckKind(kind); err != nil {
+			return err
+		}
+	}
 	cfg := derby.DefaultConfig(*providers, *avg, cl)
 	cfg.Seed = int32(*seed)
+	cfg.IndexBackend = kind
 
 	path := *out
 	if path == "" {
@@ -176,8 +189,8 @@ func cmdVerify(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fmt.Printf("%s: ok (v%d, %d pages, %d×%d %s)\n",
-			path, m.Version, m.Pages, m.Providers, m.Patients, m.Clustering)
+		fmt.Printf("%s: ok (v%d, %d pages, %d×%d %s, backend %s)\n",
+			path, m.Version, m.Pages, m.Providers, m.Patients, m.Clustering, m.Backend)
 		if m.Chain.Version > 0 {
 			fmt.Printf("  chain v%d ← v%d, %d delta pages, wal offset %d\n",
 				m.Chain.Version, m.Chain.Parent, m.Chain.DeltaPages, m.Chain.WalOff)
@@ -280,8 +293,8 @@ func cmdLs(args []string) error {
 			lineage = fmt.Sprintf("  chain v%d←v%d Δ%dp wal@%d",
 				m.Chain.Version, m.Chain.Parent, m.Chain.DeltaPages, m.Chain.WalOff)
 		}
-		fmt.Printf("%-16s  %10d bytes  v%d  %d pages  %d×%d %s%s\n",
-			key[:min(16, len(key))], fi.Size(), m.Version, m.Pages, m.Providers, m.Patients, m.Clustering, lineage)
+		fmt.Printf("%-16s  %10d bytes  v%d  %d pages  %d×%d %s  %s%s\n",
+			key[:min(16, len(key))], fi.Size(), m.Version, m.Pages, m.Providers, m.Patients, m.Clustering, m.Backend, lineage)
 	}
 	return nil
 }

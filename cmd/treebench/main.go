@@ -40,6 +40,7 @@ func main() {
 		seed    = flag.Int("seed", 1997, "data generator seed")
 		verbose = flag.Bool("v", false, "stream per-run progress")
 		hhj     = flag.Bool("hhj", false, "include the hybrid-hash extension in the join experiments")
+		ixBack  = flag.String("index-backend", "", "index backend: btree, disk, or lsm (default from TREEBENCH_INDEX_BACKEND or btree; results identical across backends)")
 		snapDir = flag.String("snapshot-dir", "", "cache generated databases as snapshots in this directory (default from TREEBENCH_SNAPSHOT_DIR; empty disables)")
 		csvPath = flag.String("csv", "", "export the results database as CSV to this file")
 		gnuplot = flag.String("gnuplot", "", "write <id>.dat and <id>.gp gnuplot files for each experiment into this directory")
@@ -81,6 +82,14 @@ func main() {
 			fatal(fmt.Errorf("-batch %d: must be at least 1", *batch))
 		}
 		cfg.Batch = *batch
+	}
+	if *ixBack != "" {
+		cfg.IndexBackend = *ixBack
+	}
+	if cfg.IndexBackend != "" {
+		if err := treebench.CheckIndexBackend(cfg.IndexBackend); err != nil {
+			fatal(err)
+		}
 	}
 	cfg.Seed = int32(*seed)
 	cfg.EnableHHJ = *hhj

@@ -7,6 +7,7 @@
 //
 //	treebenchd [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
 //	           [-clustering class] [-seed 1997] [-sessions N] [-qj N] [-batch N]
+//	           [-index-backend btree|disk|lsm]
 //	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s]
 //	           [-snapshot-dir DIR] [-save-snapshot] [-shard i/N] [-v]
 //	           [-wal DIR] [-compact-every N]
@@ -27,6 +28,11 @@
 // -sessions, -qj and -batch fall back to the TREEBENCH_JOBS,
 // TREEBENCH_QUERY_JOBS and TREEBENCH_BATCH environment variables when left
 // at 0; all three change wall-clock speed only, never a reported number.
+//
+// -index-backend selects the pluggable index structure ("btree", "disk",
+// "lsm"), falling back to TREEBENCH_INDEX_BACKEND when left empty; an
+// unknown kind is rejected at startup with the valid list. Backends change
+// physical layout and page-granular cost accounting, never query results.
 //
 // -shard i/N runs the daemon as shard i of an N-shard cluster behind
 // cmd/treebench-coord: it still serves plain queries exactly as a
@@ -66,6 +72,7 @@ import (
 	"syscall"
 	"time"
 
+	"treebench"
 	"treebench/internal/core"
 	"treebench/internal/derby"
 	"treebench/internal/persist"
@@ -86,6 +93,7 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 64, "queries allowed to wait for admission before rejection")
 		qjobs      = flag.Int("qj", 0, "intra-query workers per session (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); results identical at any setting)")
 		batch      = flag.Int("batch", 0, "vectorized-execution batch size per session (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; results identical at any setting)")
+		ixBackend  = flag.String("index-backend", "", "index backend: btree, disk, or lsm (default from TREEBENCH_INDEX_BACKEND or btree; results identical across backends)")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget (queue wait + execution)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
 		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory for instant warm boots (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
@@ -110,6 +118,16 @@ func main() {
 	}
 	cfg := derby.DefaultConfig(*providers, *avg, cl)
 	cfg.Seed = int32(*seed)
+	kind := *ixBackend
+	if kind == "" {
+		kind = core.IndexBackendFromEnv("")
+	}
+	if kind != "" {
+		if err := treebench.CheckIndexBackend(kind); err != nil {
+			fatal(err)
+		}
+		cfg.IndexBackend = kind
+	}
 	label := fmt.Sprintf("%dx%d %s", *providers, (*providers)*(*avg), cl)
 
 	n := *sessions

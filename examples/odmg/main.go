@@ -116,7 +116,7 @@ func main() {
 
 	// The reference index answers "who sees doctor 1" without a scan.
 	ix := db.IndexOn("Patients", "doctor")
-	rids, err := ix.Tree.Lookup(db.Client, treebench.RefIndexKey(docRids[1]))
+	rids, err := ix.Backend.Lookup(db.Client, treebench.RefIndexKey(docRids[1]))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,64 @@
+package backend
+
+// Bloom filters over SSTable keys. One filter per table, sized at build
+// time from the entry count (about 10 bits per key, 4 hash functions:
+// ~2% false positives), queried before any page of the table is read. A
+// negative probe proves the key absent and skips the table entirely —
+// the probe is charged as a hash probe, never as a read — which is the
+// entire economic argument for the LSM backend's read path.
+//
+// Hashing is splitmix64 double hashing: deterministic, allocation-free,
+// and independent of anything but the key bits, so filter contents are
+// a pure function of the table's keys (the determinism invariant).
+
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 4
+)
+
+type bloom struct {
+	bits []uint64
+}
+
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	words := (n*bloomBitsPerKey + 63) / 64
+	return &bloom{bits: make([]uint64, words)}
+}
+
+// restoreBloom wraps persisted filter words (shared, not copied: filters
+// are immutable once their table is written).
+func restoreBloom(words []uint64) *bloom { return &bloom{bits: words} }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (b *bloom) add(key int64) {
+	m := uint64(len(b.bits) * 64)
+	h1 := splitmix64(uint64(key))
+	h2 := splitmix64(h1) | 1
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// may reports whether key might be present (false = definitely absent).
+func (b *bloom) may(key int64) bool {
+	m := uint64(len(b.bits) * 64)
+	h1 := splitmix64(uint64(key))
+	h2 := splitmix64(h1) | 1
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package backend
+
+import (
+	"sync/atomic"
+
+	"treebench/internal/index"
+	"treebench/internal/sim"
+	"treebench/internal/storage"
+)
+
+// counters is the atomic backing store behind Backend.Counters. One
+// instance is shared by every chunk fork driving the same Backend
+// (ReadFork shares the catalog), so all increments are atomic; Clone
+// starts a fresh block — counters describe one session's activity, not
+// the lineage's.
+type counters struct {
+	bloomHits    atomic.Int64
+	bloomMisses  atomic.Int64
+	sstablesRead atomic.Int64
+	compactions  atomic.Int64
+	pagesWritten atomic.Int64
+}
+
+func (c *counters) snapshot() index.BackendCounters {
+	return index.BackendCounters{
+		BloomHits:    c.bloomHits.Load(),
+		BloomMisses:  c.bloomMisses.Load(),
+		SSTablesRead: c.sstablesRead.Load(),
+		Compactions:  c.compactions.Load(),
+		PagesWritten: c.pagesWritten.Load(),
+	}
+}
+
+// countingPager wraps the pager handed to a mutation so page writes and
+// allocations issued by the inner structure surface as PagesWritten. It
+// forwards everything else untouched — the cache hierarchy still does
+// all the charging, so wrapping adds no simulated cost.
+type countingPager struct {
+	p     storage.Pager
+	wrote *atomic.Int64
+}
+
+func (c countingPager) Read(id storage.PageID) ([]byte, error) { return c.p.Read(id) }
+
+func (c countingPager) Write(id storage.PageID) error {
+	if err := c.p.Write(id); err != nil {
+		return err
+	}
+	c.wrote.Add(1)
+	return nil
+}
+
+// Alloc is forwarded uncounted: every allocated page is subsequently
+// written, and counting both would double-bill it.
+func (c countingPager) Alloc() (storage.PageID, []byte, error) {
+	return c.p.Alloc()
+}
+
+// Costs forwards the CostSource hook so CPU-level charges keep flowing
+// to the driving fork's meter through the wrapper.
+func (c countingPager) Costs() *sim.Meter { return index.MeterOf(c.p) }

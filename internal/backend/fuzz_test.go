@@ -1,0 +1,74 @@
+package backend
+
+import (
+	"bytes"
+	"testing"
+
+	"treebench/internal/storage"
+)
+
+// FuzzSSTableDecode hammers the SSTable page decoder with arbitrary
+// bytes: it must reject anything a correct writer could not have
+// produced, re-encode anything it accepts to exactly the accepted bytes,
+// and never panic — snapshot files are untrusted input.
+func FuzzSSTableDecode(f *testing.F) {
+	// Seed corpus: a well-formed page, a page with tombstones, an empty
+	// page, and near-miss corruptions of each interesting field.
+	page := func(entries []sstEntry) []byte {
+		buf := make([]byte, storage.PageSize)
+		encodeSSTablePage(buf, entries)
+		return buf
+	}
+	valid := page([]sstEntry{
+		{key: 1, rid: ridFor(1)},
+		{key: 1, rid: ridFor(2)},
+		{key: 7, rid: ridFor(3), tomb: true},
+		{key: 9, rid: ridFor(4)},
+	})
+	f.Add(valid)
+	f.Add(page(nil))
+	full := make([]sstEntry, sstFanout)
+	for i := range full {
+		full[i] = sstEntry{key: int64(i), rid: ridFor(i)}
+	}
+	f.Add(page(full))
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xFF
+	f.Add(badMagic)
+	badCount := append([]byte(nil), valid...)
+	badCount[4], badCount[5] = 0xFF, 0xFF
+	f.Add(badCount)
+	badTomb := append([]byte(nil), valid...)
+	badTomb[sstHeaderLen+16] = 2
+	f.Add(badTomb)
+	outOfOrder := page([]sstEntry{{key: 5, rid: ridFor(1)}, {key: 4, rid: ridFor(2)}})
+	// encodeSSTablePage writes what it is given; the decoder must reject.
+	f.Add(outOfOrder)
+	f.Add([]byte{})
+	f.Add(valid[:sstHeaderLen-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeSSTablePage(data)
+		if err != nil {
+			return
+		}
+		if len(entries) > sstFanout {
+			t.Fatalf("decoder accepted %d records, max is %d", len(entries), sstFanout)
+		}
+		for i := 1; i < len(entries); i++ {
+			if !entries[i-1].less(entries[i]) {
+				t.Fatalf("decoder accepted out-of-order records at %d", i)
+			}
+		}
+		// Round-trip: what decodes must re-encode to the bytes accepted.
+		if len(data) >= storage.PageSize {
+			buf := make([]byte, storage.PageSize)
+			encodeSSTablePage(buf, entries)
+			used := sstHeaderLen + len(entries)*sstEntryLen
+			if !bytes.Equal(buf[:used], data[:used]) {
+				t.Fatal("accepted page does not round-trip")
+			}
+		}
+	})
+}

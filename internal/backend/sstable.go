@@ -1,0 +1,197 @@
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"treebench/internal/storage"
+)
+
+// SSTable pages. An SSTable is an immutable sorted run of (key, rid,
+// tombstone) records packed into contiguous pages, written once by a
+// memtable flush or a compaction and never touched again. Page layout
+// (little-endian, like the B+-tree nodes):
+//
+//	0..4   magic "LSMB"
+//	4..6   count  uint16
+//	6..8   reserved
+//	8..    count × (key int64 + Rid + tombstone byte) = 17 bytes each
+//
+// Records within a page — and across the pages of one table — are
+// strictly ascending by (key, rid): decodeSSTablePage enforces it, so a
+// corrupted or adversarial page fails decode instead of corrupting a
+// merge.
+const (
+	sstMagic     = 0x4c534d42 // "LSMB"
+	sstHeaderLen = 8
+	sstEntryLen  = 8 + storage.EncodedRidLen + 1
+	sstFanout    = (storage.PageSize - sstHeaderLen) / sstEntryLen
+)
+
+// sstEntry is one LSM record: an index entry plus its tombstone flag.
+type sstEntry struct {
+	key  int64
+	rid  storage.Rid
+	tomb bool
+}
+
+// less orders records by (key, rid) — the shared delivery order of every
+// backend.
+func (e sstEntry) less(o sstEntry) bool {
+	if e.key != o.key {
+		return e.key < o.key
+	}
+	return e.rid.Less(o.rid)
+}
+
+func (e sstEntry) same(o sstEntry) bool { return e.key == o.key && e.rid == o.rid }
+
+func encodeSSTablePage(buf []byte, entries []sstEntry) {
+	for i := range buf[:sstHeaderLen] {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], sstMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(entries)))
+	off := sstHeaderLen
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(buf[off:off+8], uint64(e.key))
+		e.rid.Encode(buf[off+8 : off+8 : off+8+storage.EncodedRidLen])
+		if e.tomb {
+			buf[off+16] = 1
+		} else {
+			buf[off+16] = 0
+		}
+		off += sstEntryLen
+	}
+}
+
+// decodeSSTablePage parses one SSTable page, rejecting anything a
+// correct writer could not have produced: bad magic, impossible counts,
+// out-of-order records, tombstone bytes other than 0/1. It is the
+// FuzzSSTableDecode target and must never panic on arbitrary input.
+func decodeSSTablePage(buf []byte) ([]sstEntry, error) {
+	if len(buf) < sstHeaderLen {
+		return nil, fmt.Errorf("backend: sstable page truncated (%d bytes)", len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:4]); m != sstMagic {
+		return nil, fmt.Errorf("backend: sstable page has bad magic %#x", m)
+	}
+	n := int(binary.LittleEndian.Uint16(buf[4:6]))
+	if n > sstFanout || sstHeaderLen+n*sstEntryLen > len(buf) {
+		return nil, fmt.Errorf("backend: sstable page claims %d records", n)
+	}
+	entries := make([]sstEntry, 0, n)
+	off := sstHeaderLen
+	for i := 0; i < n; i++ {
+		e := sstEntry{key: int64(binary.LittleEndian.Uint64(buf[off : off+8]))}
+		e.rid, _ = storage.DecodeRid(buf[off+8:])
+		switch buf[off+16] {
+		case 0:
+		case 1:
+			e.tomb = true
+		default:
+			return nil, fmt.Errorf("backend: sstable record %d has tombstone byte %d", i, buf[off+16])
+		}
+		if i > 0 && !entries[i-1].less(e) {
+			return nil, fmt.Errorf("backend: sstable records out of order at %d", i)
+		}
+		entries = append(entries, e)
+		off += sstEntryLen
+	}
+	return entries, nil
+}
+
+// sstable is the in-memory descriptor of one run: where its pages live,
+// its key range, the per-page fence keys (first key of each page) and
+// its bloom filter. Descriptors persist whole in the backend section, so
+// a loaded snapshot answers bloom probes and fence searches without any
+// page I/O — exactly like the session that saved it.
+type sstable struct {
+	seq    uint32 // creation order, newest wins on duplicate (key, rid)
+	tier   int    // size-tiered level: flushes are tier 0, compactions tier+1
+	start  storage.PageID
+	pages  int
+	count  int
+	minKey int64
+	maxKey int64
+	fences []int64
+	filter *bloom
+}
+
+// writeSSTable packs entries (strictly ascending by (key, rid)) into
+// freshly allocated contiguous pages. Flushes and compactions are the
+// only callers and allocate with nothing interleaved, which is what
+// keeps the pages contiguous from start.
+func writeSSTable(p storage.Pager, entries []sstEntry, seq uint32, tier int, ctr *counters) (*sstable, error) {
+	s := &sstable{
+		seq:    seq,
+		tier:   tier,
+		count:  len(entries),
+		minKey: entries[0].key,
+		maxKey: entries[len(entries)-1].key,
+		filter: newBloom(len(entries)),
+	}
+	for _, e := range entries {
+		s.filter.add(e.key)
+	}
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > sstFanout {
+			n = sstFanout
+		}
+		id, buf, err := p.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		if s.pages == 0 {
+			s.start = id
+		} else if id != s.start+storage.PageID(s.pages) {
+			return nil, fmt.Errorf("backend: sstable page %d not contiguous (got %d, want %d)",
+				s.pages, id, s.start+storage.PageID(s.pages))
+		}
+		encodeSSTablePage(buf, entries[:n])
+		if err := p.Write(id); err != nil {
+			return nil, err
+		}
+		ctr.pagesWritten.Add(1)
+		s.fences = append(s.fences, entries[0].key)
+		s.pages++
+		entries = entries[n:]
+	}
+	return s, nil
+}
+
+// readPage decodes page i of the table through the pager.
+func (s *sstable) readPage(p storage.Pager, i int) ([]sstEntry, error) {
+	buf, err := p.Read(s.start + storage.PageID(i))
+	if err != nil {
+		return nil, err
+	}
+	return decodeSSTablePage(buf)
+}
+
+// findPage returns the index of the first page that may contain key: the
+// last page whose fence (first key) is strictly below it. When the next
+// page's fence equals key, duplicates of key may still end the page
+// before — starting there costs at most one extra page and never skips
+// an entry.
+func (s *sstable) findPage(key int64) int {
+	lo, hi := 0, len(s.fences)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.fences[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// overlaps reports whether the table's key range intersects [lo, hi).
+func (s *sstable) overlaps(lo, hi int64) bool {
+	return s.minKey < hi && s.maxKey >= lo
+}

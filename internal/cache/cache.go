@@ -178,6 +178,12 @@ func (c *Client) Prefetch(ids []storage.PageID) {
 	}
 }
 
+// Costs exposes the session meter this client charges, so structures
+// driven through the Pager interface (index backends) can charge
+// CPU-level events — comparisons, bloom probes — to the same fork that
+// pays for the page I/O (the index.CostSource hook).
+func (c *Client) Costs() *sim.Meter { return c.meter }
+
 // Read implements storage.Pager.
 func (c *Client) Read(id storage.PageID) ([]byte, error) {
 	if e := c.lru.get(id); e != nil {

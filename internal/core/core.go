@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"treebench/internal/backend"
 	"treebench/internal/derby"
 	"treebench/internal/engine"
 	"treebench/internal/join"
@@ -49,6 +50,11 @@ type Config struct {
 	// QueryJobs it changes wall-clock time only — simulated numbers are
 	// identical at any setting.
 	Batch int
+	// IndexBackend selects the pluggable index structure ("btree", "disk",
+	// "lsm"; empty means the in-memory B+-tree default). It changes
+	// physical layout and page-granular cost accounting, never query
+	// results — the B1 ablation quantifies the difference.
+	IndexBackend string
 	// SnapshotDir, when non-empty, backs dataset generation with the
 	// content-addressed snapshot cache at that directory: each distinct
 	// parameter set is generated at most once ever, then loaded. Results
@@ -80,6 +86,11 @@ const QueryJobsEnvVar = "TREEBENCH_QUERY_JOBS"
 // (TREEBENCH_BATCH=1 forces the legacy scalar operators; results are
 // byte-identical at any setting).
 const BatchEnvVar = "TREEBENCH_BATCH"
+
+// IndexBackendEnvVar overrides the index backend
+// (TREEBENCH_INDEX_BACKEND=lsm; results are byte-identical across
+// backends, only the cost accounting changes).
+const IndexBackendEnvVar = "TREEBENCH_INDEX_BACKEND"
 
 // SnapshotDirEnvVar enables the on-disk snapshot cache
 // (TREEBENCH_SNAPSHOT_DIR=~/.cache/treebench). persist.DefaultDir reads
@@ -133,17 +144,29 @@ func BatchFromEnv(def int) int {
 	return def
 }
 
+// IndexBackendFromEnv resolves an index-backend kind from
+// IndexBackendEnvVar, returning def when the variable is unset. An
+// invalid value is returned as-is so the caller's CheckKind rejects it
+// with a hint instead of it being silently ignored.
+func IndexBackendFromEnv(def string) string {
+	if v := os.Getenv(IndexBackendEnvVar); v != "" {
+		return v
+	}
+	return def
+}
+
 // ConfigFromEnv builds the default config, honoring ScaleEnvVar,
 // JobsEnvVar, QueryJobsEnvVar and BatchEnvVar. Values below 1 (or
 // non-numeric) are rejected and the default kept.
 func ConfigFromEnv() Config {
 	cfg := Config{
-		SF:          DefaultSF,
-		Seed:        1997,
-		Jobs:        JobsFromEnv(DefaultJobs()),
-		QueryJobs:   QueryJobsFromEnv(0),
-		Batch:       BatchFromEnv(0),
-		SnapshotDir: os.Getenv(SnapshotDirEnvVar),
+		SF:           DefaultSF,
+		Seed:         1997,
+		Jobs:         JobsFromEnv(DefaultJobs()),
+		QueryJobs:    QueryJobsFromEnv(0),
+		Batch:        BatchFromEnv(0),
+		IndexBackend: IndexBackendFromEnv(""),
+		SnapshotDir:  os.Getenv(SnapshotDirEnvVar),
 	}
 	if v := os.Getenv(ScaleEnvVar); v != "" {
 		if sf, err := strconv.Atoi(v); err == nil && sf >= 1 {
@@ -240,11 +263,19 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// dsKey identifies a generated database.
+// dsKey identifies a generated database, index backend included: the B1
+// ablation holds several backends' datasets in one Runner.
 type dsKey struct {
 	providers int
 	avg       int
 	cl        derby.Clustering
+	backend   string // normalized kind, "btree" when unset
+}
+
+// dsKeyFor builds a dataset key under the runner's configured backend.
+func (r *Runner) dsKeyFor(providers, avg int, cl derby.Clustering) dsKey {
+	return dsKey{providers: providers, avg: avg, cl: cl,
+		backend: backend.Normalize(r.Config.IndexBackend)}
 }
 
 // joinKey identifies one cold join run for cross-experiment reuse
@@ -361,6 +392,7 @@ func (r *Runner) snapshot(key dsKey) (*derby.Snapshot, error) {
 		cfg := derby.DefaultConfig(key.providers, key.avg, key.cl)
 		cfg.Seed = r.Config.Seed
 		cfg.Machine = MachineForSF(r.Config.SF)
+		cfg.IndexBackend = key.backend
 		// The 1:3 databases never use the num index; skipping it matches the
 		// paper's patient size there and halves generation time.
 		cfg.SkipNumIndex = key.avg < 100
@@ -405,7 +437,7 @@ func (r *Runner) snapshotCache() *persist.Cache {
 // handle table belong to the caller alone — so experiments need no run
 // locks and report exactly what a private copy would.
 func (r *Runner) dataset(providers, avg int, cl derby.Clustering) (*derby.Dataset, error) {
-	sn, err := r.snapshot(dsKey{providers, avg, cl})
+	sn, err := r.snapshot(r.dsKeyFor(providers, avg, cl))
 	if err != nil {
 		return nil, err
 	}
@@ -437,7 +469,7 @@ func (r *Runner) queryJobs() int {
 // mutableDataset returns a fresh writable (copy-on-write) session over the
 // shared snapshot, for experiments that update the database in place.
 func (r *Runner) mutableDataset(providers, avg int, cl derby.Clustering) (*derby.Dataset, error) {
-	sn, err := r.snapshot(dsKey{providers, avg, cl})
+	sn, err := r.snapshot(r.dsKeyFor(providers, avg, cl))
 	if err != nil {
 		return nil, err
 	}

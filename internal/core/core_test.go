@@ -58,7 +58,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"F6", "F7", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "L1", "H1", "A1", "O1", "M1", "D1", "P1", "R1", "S1", "V1", "W1"}
+	want := []string{"F6", "F7", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "L1", "H1", "A1", "B1", "O1", "M1", "D1", "P1", "R1", "S1", "V1", "W1"}
 	got := ExperimentIDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry: %v", got)

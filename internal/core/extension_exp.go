@@ -23,7 +23,7 @@ func (r *Runner) SortJoins() (*Table, error) {
 	scales := r.bothScales()
 
 	for _, sc := range scales {
-		key := dsKey{sc[0], sc[1], derby.ClassCluster}
+		key := r.dsKeyFor(sc[0], sc[1], derby.ClassCluster)
 		err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
 			for _, sel := range selGrid {
 				bestAlgo := join.Algorithm("")
@@ -75,7 +75,7 @@ func (r *Runner) OptimizerAccuracy() (*Table, error) {
 	costHits, heurHits, cells := 0, 0, 0
 	for _, sc := range scales {
 		for _, cl := range []derby.Clustering{derby.ClassCluster, derby.RandomOrg, derby.CompositionCluster} {
-			key := dsKey{sc[0], sc[1], cl}
+			key := r.dsKeyFor(sc[0], sc[1], cl)
 			err := r.withDataset(sc[0], sc[1], cl, func(d *derby.Dataset) error {
 				for _, sel := range selGrid {
 					// Measure all four algorithms (cached across experiments).

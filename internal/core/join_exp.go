@@ -28,7 +28,7 @@ func (r *Runner) Fig10() (*Table, error) {
 
 	for _, algo := range []join.Algorithm{join.PHJ, join.CHJ} {
 		for _, sc := range scales {
-			key := dsKey{sc[0], sc[1], derby.ClassCluster}
+			key := r.dsKeyFor(sc[0], sc[1], derby.ClassCluster)
 			err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
 				for _, sel := range [][2]int{{10, 10}, {90, 90}} {
 					res, err := r.coldJoin(d, key, sel[0], sel[1], algo)
@@ -61,7 +61,7 @@ func (r *Runner) Fig10() (*Table, error) {
 // one database and renders a Figure 11–14 style table: per grid cell, the
 // algorithms ranked by time with their ratio to the winner.
 func (r *Runner) joinGrid(id, title string, providers, avg int, cl derby.Clustering) (*Table, error) {
-	key := dsKey{providers, avg, cl}
+	key := r.dsKeyFor(providers, avg, cl)
 	t := &Table{
 		ID:      id,
 		Title:   title,
@@ -145,7 +145,7 @@ func (r *Runner) Fig15() (*Table, error) {
 	scales := r.bothScales()
 
 	winner := func(providers, avg int, cl derby.Clustering, sel [2]int) (join.Algorithm, float64, error) {
-		key := dsKey{providers, avg, cl}
+		key := r.dsKeyFor(providers, avg, cl)
 		bestAlgo := join.Algorithm("")
 		bestSec := 0.0
 		err := r.withDataset(providers, avg, cl, func(d *derby.Dataset) error {

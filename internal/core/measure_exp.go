@@ -23,7 +23,7 @@ func (r *Runner) MeasureElapsed() (*Table, error) {
 	}
 	divergent, swaps := 0, 0
 	for _, sc := range r.bothScales() {
-		key := dsKey{sc[0], sc[1], derby.ClassCluster}
+		key := r.dsKeyFor(sc[0], sc[1], derby.ClassCluster)
 		err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
 			for _, sel := range selGrid {
 				for _, algo := range join.Algorithms() {

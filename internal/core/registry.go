@@ -31,6 +31,7 @@ func Experiments() []ExperimentInfo {
 		{"L1", "§3.2 loading ablations", (*Runner).Loading},
 		{"H1", "§4.4 handle-management ablations", (*Runner).Handles},
 		{"A1", "sort-merge join vs hash joins (§5.1's dropped alternative)", (*Runner).SortJoins},
+		{"B1", "index backends: LSM write absorption vs read amplification", (*Runner).Backends},
 		{"O1", "optimizer accuracy: cost-based vs heuristic vs measured", (*Runner).OptimizerAccuracy},
 		{"M1", "does elapsed time track I/Os? (§3.5)", (*Runner).MeasureElapsed},
 		{"D1", "a doctor retires: header-driven index maintenance (§4.4)", (*Runner).DoctorRetires},

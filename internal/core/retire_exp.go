@@ -50,7 +50,7 @@ func (r *Runner) DoctorRetires() (*Table, error) {
 	// would have to scan per update batch to locate memberships.
 	allIndexPages := 0
 	for _, ix := range d.Patients.Indexes() {
-		allIndexPages += ix.Tree.Pages()
+		allIndexPages += ix.Backend.Pages()
 	}
 
 	retired := 0
@@ -97,7 +97,7 @@ func (r *Runner) DoctorRetires() (*Table, error) {
 	}
 	// Consistency: the nil key now holds every updated patient.
 	nilKey := int64(storage.NilRid.Page)<<16 | int64(storage.NilRid.Slot)
-	rids, err := pcpIx.Tree.Lookup(db.Client, nilKey)
+	rids, err := pcpIx.Backend.Lookup(db.Client, nilKey)
 	if err != nil {
 		return nil, err
 	}

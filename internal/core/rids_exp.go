@@ -41,7 +41,7 @@ func (r *Runner) RidsOrHandles() (*Table, error) {
 			if materialize {
 				entryBytes = 60 // the §4.4 Handle structure
 			}
-			err := ix.Tree.Scan(d.DB.Client, 1, k, func(e index.Entry) (bool, error) {
+			err := ix.Backend.Scan(d.DB.Client, 1, k, func(e index.Entry) (bool, error) {
 				if materialize {
 					h, err := d.DB.Handles.Get(e.Rid)
 					if err != nil {

@@ -20,7 +20,7 @@ func (r *Runner) PointerVsValue() (*Table, error) {
 	}
 	scales := r.bothScales()
 	for _, sc := range scales {
-		key := dsKey{sc[0], sc[1], derby.ClassCluster}
+		key := r.dsKeyFor(sc[0], sc[1], derby.ClassCluster)
 		err := r.withDataset(sc[0], sc[1], derby.ClassCluster, func(d *derby.Dataset) error {
 			for _, sel := range selGrid {
 				pres, err := r.coldJoin(d, key, sel[0], sel[1], join.NOJOIN)

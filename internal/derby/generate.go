@@ -81,6 +81,12 @@ type Config struct {
 	// SkipNumIndex omits the unclustered index on Patient.num (only the
 	// selection experiments need it, and at 1:3 scale it is never used).
 	SkipNumIndex bool
+
+	// IndexBackend selects the pluggable index structure every CreateIndex
+	// uses ("btree", "disk", "lsm"; empty means the in-memory B+-tree
+	// default). It changes physical layout and cost accounting, never
+	// query results.
+	IndexBackend string
 }
 
 // DefaultConfig returns the tuned loading configuration at the given scale.
@@ -139,6 +145,11 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	db := engine.New(cfg.Machine, cfg.Model, cfg.TxnMode)
 	db.Txns.SetCreateBudget(cfg.CreateBudget)
+	if cfg.IndexBackend != "" {
+		if err := db.SetIndexBackend(cfg.IndexBackend); err != nil {
+			return nil, err
+		}
+	}
 
 	nProv := cfg.Providers
 	nPat := cfg.Providers * cfg.AvgPatients

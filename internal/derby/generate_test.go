@@ -135,10 +135,10 @@ func checkDataset(t *testing.T, d *Dataset) {
 		if ix == nil {
 			t.Fatalf("no index on %s.%s", spec.extent, spec.attr)
 		}
-		if ix.Tree.Len() != spec.n {
-			t.Fatalf("%s.%s index has %d entries, want %d", spec.extent, spec.attr, ix.Tree.Len(), spec.n)
+		if ix.Backend.Len() != spec.n {
+			t.Fatalf("%s.%s index has %d entries, want %d", spec.extent, spec.attr, ix.Backend.Len(), spec.n)
 		}
-		if err := ix.Tree.Validate(db.Client); err != nil {
+		if err := ix.Backend.Validate(db.Client); err != nil {
 			t.Fatal(err)
 		}
 	}

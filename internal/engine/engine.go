@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"treebench/internal/backend"
 	"treebench/internal/cache"
 	"treebench/internal/histogram"
 	"treebench/internal/index"
@@ -41,9 +42,13 @@ type Extent struct {
 // Indexes returns the indexes defined over the extent.
 func (e *Extent) Indexes() []*Index { return e.indexes }
 
-// Index is an index over one integer attribute of an extent.
+// Index is an index over one integer attribute of an extent. Backend is
+// the pluggable structure behind it (in-memory B+-tree by default; see
+// internal/backend) — every implementation delivers entries in the same
+// (key, rid) order, so which one is plugged in changes costs, never
+// results.
 type Index struct {
-	Tree    *index.Tree
+	Backend index.Backend
 	Extent  *Extent
 	Attr    string
 	attrIdx int
@@ -70,8 +75,8 @@ func (ix *Index) Stats(p storage.Pager) (*histogram.Histogram, error) {
 	if ix.stats != nil {
 		return ix.stats, nil
 	}
-	keys := make([]int64, 0, ix.Tree.Len())
-	err := ix.Tree.Scan(p, -1<<62, 1<<62, func(e index.Entry) (bool, error) {
+	keys := make([]int64, 0, ix.Backend.Len())
+	err := ix.Backend.Scan(p, -1<<62, 1<<62, func(e index.Entry) (bool, error) {
 		keys = append(keys, e.Key)
 		return true, nil
 	})
@@ -106,6 +111,11 @@ type Session struct {
 	nextIdx       uint32
 	roots         map[string]storage.Rid
 	relationships []*Relationship
+
+	// indexBackend is the backend kind CreateIndex builds ("" = the
+	// default in-memory B+-tree). It is part of the database's identity:
+	// Freeze records it and forks inherit it.
+	indexBackend string
 
 	// queryJobs is the intra-query worker count (0 = DefaultQueryJobs);
 	// chunkForks are the persistent per-chunk execution contexts RunChunks
@@ -271,7 +281,7 @@ func (db *Session) InsertAs(tx *txn.Txn, e *Extent, cls *object.Class, values []
 	}
 	// Pre-mark index membership in the header.
 	for _, ix := range e.indexes {
-		rec, _, err = object.AddIndexRef(rec, ix.Tree.ID)
+		rec, _, err = object.AddIndexRef(rec, ix.Backend.ID())
 		if err != nil {
 			return storage.Rid{}, err
 		}
@@ -289,7 +299,7 @@ func (db *Session) InsertAs(tx *txn.Txn, e *Extent, cls *object.Class, values []
 	// Maintain indexes.
 	for _, ix := range e.indexes {
 		v := values[ix.attrIdx]
-		if err := ix.Tree.Insert(db.Client, index.Entry{Key: keyOf(v), Rid: rid}); err != nil {
+		if err := ix.Backend.Insert(db.Client, index.Entry{Key: keyOf(v), Rid: rid}); err != nil {
 			return storage.Rid{}, err
 		}
 		ix.InvalidateStats()
@@ -392,15 +402,50 @@ func (db *Session) CreateIndex(e *Extent, attr string, clustered bool) (*Index, 
 			}
 		}
 	}
-	tree, err := index.Build(db.Client, id, fmt.Sprintf("%s.%s", e.Name, attr), entries)
+	be, err := backend.Build(db.indexBackend, db.Client, id, fmt.Sprintf("%s.%s", e.Name, attr), entries)
 	if err != nil {
 		return nil, 0, err
 	}
-	ix := &Index{Tree: tree, Extent: e, Attr: attr, attrIdx: ai, Clustered: clustered}
+	ix := &Index{Backend: be, Extent: e, Attr: attr, attrIdx: ai, Clustered: clustered}
 	e.indexes = append(e.indexes, ix)
 	e.IndexedAtCreation = true
 	db.indexes[id] = ix
 	return ix, relocations, nil
+}
+
+// SetIndexBackend selects the backend kind CreateIndex builds from here
+// on ("" or "btree" is the in-memory oracle). It fails before any index
+// exists in a different kind: mixing kinds in one database would make
+// per-backend accounting ambiguous.
+func (db *Session) SetIndexBackend(kind string) error {
+	if err := backend.CheckKind(kind); err != nil {
+		return err
+	}
+	db.indexBackend = backend.Normalize(kind)
+	return nil
+}
+
+// IndexBackend reports the session's backend kind, falling back to the
+// kind of an existing index (restored snapshots) and then the default.
+func (db *Session) IndexBackend() string {
+	if db.indexBackend != "" {
+		return db.indexBackend
+	}
+	for _, ix := range db.indexes {
+		return ix.Backend.Kind()
+	}
+	return backend.DefaultKind
+}
+
+// BackendCounters sums the per-backend counters over every index the
+// session drives. Addition is commutative, so the map order is
+// irrelevant; server metrics record deltas of this around each query.
+func (db *Session) BackendCounters() index.BackendCounters {
+	var c index.BackendCounters
+	for _, ix := range db.indexes {
+		c.Add(ix.Backend.Counters())
+	}
+	return c
 }
 
 // IndexOn returns the index over extent.attr, or nil.
@@ -447,10 +492,10 @@ func (db *Session) UpdateAttr(tx *txn.Txn, e *Extent, rid storage.Rid, attr stri
 		if ix == nil || ix.Attr != attr {
 			continue
 		}
-		if _, err := ix.Tree.Delete(db.Client, index.Entry{Key: keyOf(old), Rid: rid}); err != nil {
+		if _, err := ix.Backend.Delete(db.Client, index.Entry{Key: keyOf(old), Rid: rid}); err != nil {
 			return err
 		}
-		if err := ix.Tree.Insert(db.Client, index.Entry{Key: keyOf(v), Rid: rid}); err != nil {
+		if err := ix.Backend.Insert(db.Client, index.Entry{Key: keyOf(v), Rid: rid}); err != nil {
 			return err
 		}
 		ix.InvalidateStats()

@@ -79,14 +79,14 @@ func TestInsertAndIndexMaintenance(t *testing.T) {
 	if e.Count != 1000 {
 		t.Fatalf("Count = %d", e.Count)
 	}
-	rids, err := ix.Tree.Lookup(db.Client, 42)
+	rids, err := ix.Backend.Lookup(db.Client, 42)
 	if err != nil || len(rids) != 10 {
 		t.Fatalf("Lookup(42) = %d rids (%v), want 10", len(rids), err)
 	}
 	if db.IndexOn("Items", "score") != ix || db.IndexOn("Items", "nope") != nil {
 		t.Fatal("IndexOn broken")
 	}
-	if err := ix.Tree.Validate(db.Client); err != nil {
+	if err := ix.Backend.Validate(db.Client); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -114,10 +114,10 @@ func TestCreateIndexAfterLoadRelocates(t *testing.T) {
 		t.Fatal("relocations did not extend the file")
 	}
 	// The index is still correct.
-	if ix.Tree.Len() != 2000 {
-		t.Fatalf("tree has %d entries", ix.Tree.Len())
+	if ix.Backend.Len() != 2000 {
+		t.Fatalf("tree has %d entries", ix.Backend.Len())
 	}
-	rids, _ := ix.Tree.Lookup(db.Client, 1234)
+	rids, _ := ix.Backend.Lookup(db.Client, 1234)
 	if len(rids) != 1 {
 		t.Fatalf("Lookup = %v", rids)
 	}
@@ -131,7 +131,7 @@ func TestCreateIndexAfterLoadRelocates(t *testing.T) {
 	}
 	// Membership is recorded in the (relocated) object's header.
 	refs := object.IndexRefs(rec)
-	if len(refs) != 1 || refs[0] != ix.Tree.ID {
+	if len(refs) != 1 || refs[0] != ix.Backend.ID() {
 		t.Fatalf("IndexRefs = %v", refs)
 	}
 }
@@ -203,10 +203,10 @@ func TestUpdateAttrMaintainsIndexViaHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	ix := db.IndexOn("Items", "score")
-	if rids, _ := ix.Tree.Lookup(db.Client, 50); len(rids) != 0 {
+	if rids, _ := ix.Backend.Lookup(db.Client, 50); len(rids) != 0 {
 		t.Fatal("old key still indexed")
 	}
-	if rids, _ := ix.Tree.Lookup(db.Client, 99); len(rids) != 1 || rids[0] != rid {
+	if rids, _ := ix.Backend.Lookup(db.Client, 99); len(rids) != 1 || rids[0] != rid {
 		t.Fatal("new key not indexed")
 	}
 	// Non-indexed attribute updates don't touch the tree.
@@ -275,7 +275,7 @@ func TestEngineAccessors(t *testing.T) {
 	if got := e.Indexes(); len(got) != 1 || got[0] != ix {
 		t.Fatalf("Indexes: %v", got)
 	}
-	if db.IndexByID(ix.Tree.ID) != ix || db.IndexByID(9999) != nil {
+	if db.IndexByID(ix.Backend.ID()) != ix || db.IndexByID(9999) != nil {
 		t.Fatal("IndexByID broken")
 	}
 	if db.Pager() != storage.Pager(db.Client) {

@@ -137,7 +137,7 @@ func TestUpgradePreservesIndexMembership(t *testing.T) {
 	}
 	// The index still resolves through the forwarding stubs, and the
 	// upgraded records still carry their membership.
-	rids, err := ix.Tree.Lookup(db.Client, 123)
+	rids, err := ix.Backend.Lookup(db.Client, 123)
 	if err != nil || len(rids) != 1 {
 		t.Fatalf("lookup after upgrade: %v %v", rids, err)
 	}
@@ -146,7 +146,7 @@ func TestUpgradePreservesIndexMembership(t *testing.T) {
 		t.Fatal(err)
 	}
 	refs := object.IndexRefs(rec)
-	if len(refs) != 1 || refs[0] != ix.Tree.ID {
+	if len(refs) != 1 || refs[0] != ix.Backend.ID() {
 		t.Fatalf("membership lost: %v", refs)
 	}
 	v, _ := object.DecodeAttr(e.Class, rec, e.Class.AttrIndex("score"))

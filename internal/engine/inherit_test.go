@@ -83,7 +83,7 @@ func TestPolymorphicExtent(t *testing.T) {
 	}
 	// The area index covers both kinds.
 	ix := db.IndexOn("Shapes", "area")
-	if rids, _ := ix.Tree.Lookup(db.Client, 510); len(rids) != 1 {
+	if rids, _ := ix.Backend.Lookup(db.Client, 510); len(rids) != 1 {
 		t.Fatal("subclass object missing from the extent index")
 	}
 	// A full scan over the extent sees every instance (the selection

@@ -152,6 +152,7 @@ func (db *Session) ReadFork() *Session {
 		roots:         db.roots,
 		relationships: db.relationships,
 		batch:         db.batch,
+		indexBackend:  db.indexBackend,
 		readOnly:      true,
 	}
 }

@@ -204,7 +204,7 @@ func (db *Session) deleteObject(e *Extent, rid storage.Rid) (indexEntries int, e
 		if err != nil {
 			return indexEntries, err
 		}
-		ok, err := ix.Tree.Delete(db.Client, index.Entry{Key: keyOf(v), Rid: rid})
+		ok, err := ix.Backend.Delete(db.Client, index.Entry{Key: keyOf(v), Rid: rid})
 		if err != nil {
 			return indexEntries, err
 		}

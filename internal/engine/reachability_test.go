@@ -118,14 +118,14 @@ func TestCollectGarbageMaintainsIndexes(t *testing.T) {
 	}
 	// ...and their index entries too: file 25 had size 250.
 	ix := db.IndexOn("Files", "size")
-	if rids, _ := ix.Tree.Lookup(db.Client, 250); len(rids) != 0 {
+	if rids, _ := ix.Backend.Lookup(db.Client, 250); len(rids) != 0 {
 		t.Fatalf("stale index entry: %v", rids)
 	}
 	// Survivors intact, index consistent.
-	if rids, _ := ix.Tree.Lookup(db.Client, 150); len(rids) != 1 || rids[0] != fileRids[15] {
+	if rids, _ := ix.Backend.Lookup(db.Client, 150); len(rids) != 1 || rids[0] != fileRids[15] {
 		t.Fatal("survivor lost")
 	}
-	if err := ix.Tree.Validate(db.Client); err != nil {
+	if err := ix.Backend.Validate(db.Client); err != nil {
 		t.Fatal(err)
 	}
 	// A second collection finds nothing.

@@ -88,7 +88,7 @@ func TestSetParentMaintainsBothSides(t *testing.T) {
 		t.Fatalf("after transfer: %d and %d", len(kids0), len(kids1))
 	}
 	ix := db.IndexOn("Players", "team")
-	if rids, _ := ix.Tree.Lookup(db.Client, RefKey(teams[1])); len(rids) != 11 {
+	if rids, _ := ix.Backend.Lookup(db.Client, RefKey(teams[1])); len(rids) != 11 {
 		t.Fatalf("ref index sees %d players on team 1", len(rids))
 	}
 	// Detach entirely.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"treebench/internal/cache"
+	"treebench/internal/index"
 	"treebench/internal/object"
 	"treebench/internal/sim"
 	"treebench/internal/storage"
@@ -25,12 +26,13 @@ type Snapshot struct {
 	model   sim.CostModel
 	mode    txn.Mode
 
-	classes *object.Registry
-	extents map[string]*Extent
-	indexes map[uint32]*Index
-	nextIdx uint32
-	roots   map[string]storage.Rid
-	rels    []*Relationship
+	classes      *object.Registry
+	extents      map[string]*Extent
+	indexes      map[uint32]*Index
+	nextIdx      uint32
+	roots        map[string]storage.Rid
+	rels         []*Relationship
+	indexBackend string
 
 	// Chain lineage (see chain.go): position in the MVCC version chain,
 	// the version committed over, and the commit's physical footprint.
@@ -54,18 +56,39 @@ func (db *Session) Freeze() (*Snapshot, error) {
 	}
 	db.readOnly = true
 	return &Snapshot{
-		base:    base,
-		store:   db.Store,
-		machine: db.Machine,
-		model:   db.Meter.Model,
-		mode:    db.Txns.Mode(),
-		classes: db.Classes,
-		extents: db.extents,
-		indexes: db.indexes,
-		nextIdx: db.nextIdx,
-		roots:   db.roots,
-		rels:    db.relationships,
+		base:         base,
+		store:        db.Store,
+		machine:      db.Machine,
+		model:        db.Meter.Model,
+		mode:         db.Txns.Mode(),
+		classes:      db.Classes,
+		extents:      db.extents,
+		indexes:      db.indexes,
+		nextIdx:      db.nextIdx,
+		roots:        db.roots,
+		rels:         db.relationships,
+		indexBackend: db.IndexBackend(),
 	}, nil
+}
+
+// IndexBackend reports the backend kind the snapshot's indexes use.
+func (sn *Snapshot) IndexBackend() string {
+	for _, ix := range sn.indexes {
+		return ix.Backend.Kind()
+	}
+	return sn.indexBackend
+}
+
+// BackendCounters sums the per-backend counters over the snapshot's
+// indexes. Clone resets counters, so a chain head's totals are exactly
+// the activity of the wave that published it — the server's commit path
+// records them as that commit's backend delta.
+func (sn *Snapshot) BackendCounters() index.BackendCounters {
+	var c index.BackendCounters
+	for _, ix := range sn.indexes {
+		c.Add(ix.Backend.Counters())
+	}
+	return c
 }
 
 // Pages returns the number of frozen pages shared by all forks.
@@ -108,18 +131,19 @@ func (sn *Snapshot) fork(readOnly bool) *Session {
 		classes, remap = sn.classes.Clone()
 	}
 	db := &Session{
-		Store:    store,
-		Meter:    meter,
-		Machine:  sn.machine,
-		Server:   srv,
-		Client:   cli,
-		Classes:  classes,
-		Handles:  object.NewTable(meter, cli, classes),
-		Txns:     txn.NewManager(meter, cli, sn.mode),
-		extents:  make(map[string]*Extent, len(sn.extents)),
-		indexes:  make(map[uint32]*Index, len(sn.indexes)),
-		nextIdx:  sn.nextIdx,
-		readOnly: readOnly,
+		Store:        store,
+		Meter:        meter,
+		Machine:      sn.machine,
+		Server:       srv,
+		Client:       cli,
+		Classes:      classes,
+		Handles:      object.NewTable(meter, cli, classes),
+		Txns:         txn.NewManager(meter, cli, sn.mode),
+		extents:      make(map[string]*Extent, len(sn.extents)),
+		indexes:      make(map[uint32]*Index, len(sn.indexes)),
+		nextIdx:      sn.nextIdx,
+		readOnly:     readOnly,
+		indexBackend: sn.indexBackend,
 	}
 	for name, e := range sn.extents {
 		cls := e.Class
@@ -147,7 +171,7 @@ func (sn *Snapshot) fork(readOnly bool) *Session {
 		ne := db.extents[name]
 		for _, ix := range e.indexes {
 			nix := &Index{
-				Tree:      ix.Tree.Clone(),
+				Backend:   ix.Backend.Clone(),
 				Extent:    ne,
 				Attr:      ix.Attr,
 				attrIdx:   ix.attrIdx,
@@ -155,7 +179,7 @@ func (sn *Snapshot) fork(readOnly bool) *Session {
 				stats:     ix.stats, // histograms are immutable once built
 			}
 			ne.indexes = append(ne.indexes, nix)
-			db.indexes[nix.Tree.ID] = nix
+			db.indexes[nix.Backend.ID()] = nix
 		}
 	}
 	if len(sn.roots) > 0 {

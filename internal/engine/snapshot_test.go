@@ -159,14 +159,14 @@ func TestMutableForkIsolation(t *testing.T) {
 	if mix == nil || rix == nil {
 		t.Fatal("index lost in fork")
 	}
-	mhits, err := mix.Tree.Lookup(m.Client, 1000)
+	mhits, err := mix.Backend.Lookup(m.Client, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(mhits) != 1 {
 		t.Fatalf("fork index lookup(1000) = %d hits, want 1", len(mhits))
 	}
-	rhits, err := rix.Tree.Lookup(r.Client, 1000)
+	rhits, err := rix.Backend.Lookup(r.Client, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"treebench/internal/backend"
 	"treebench/internal/histogram"
 	"treebench/internal/index"
 	"treebench/internal/object"
@@ -19,8 +20,14 @@ import (
 // reported number matches the original's — that invariant is what keeps
 // the split honest.
 
-// IndexState describes one index of an extent.
+// IndexState describes one index of an extent. Backend is the full
+// pluggable-backend descriptor; Tree repeats its B+-tree half so the
+// positionally aligned trees section (and every pre-backend consumer of
+// it) stays well-formed — for an LSM it is a synthesized placeholder.
+// A zero Backend.Kind means "btree from Tree" for states built by older
+// code paths.
 type IndexState struct {
+	Backend   index.BackendState
 	Tree      index.TreeState
 	Attr      string
 	Clustered bool
@@ -102,8 +109,10 @@ func (sn *Snapshot) State() *SnapshotState {
 			Count:             e.Count,
 		}
 		for _, ix := range e.indexes {
+			bst := ix.Backend.State()
 			es.Indexes = append(es.Indexes, IndexState{
-				Tree:      ix.Tree.State(),
+				Backend:   bst,
+				Tree:      bst.Tree,
 				Attr:      ix.Attr,
 				Clustered: ix.Clustered,
 				Stats:     ix.stats.State(),
@@ -180,24 +189,33 @@ func RestoreSnapshot(base *storage.Base, st *SnapshotState) (*Snapshot, error) {
 			Count:             es.Count,
 		}
 		for _, is := range es.Indexes {
-			tree, err := index.Restore(is.Tree, base.NumPages())
+			bst := is.Backend
+			if bst.Kind == "" {
+				// State written before (or without) the backends
+				// section: the tree descriptor is the whole story.
+				bst = index.BackendState{Kind: backend.KindBTree, Tree: is.Tree, Meta: storage.InvalidPage}
+			}
+			be, err := backend.Restore(bst, base.NumPages())
 			if err != nil {
 				return nil, err
 			}
 			ai := cls.AttrIndex(is.Attr)
 			if ai < 0 {
-				return nil, fmt.Errorf("%w attribute %s.%s for index %s", ErrUnknown, cls.Name, is.Attr, tree.Name)
+				return nil, fmt.Errorf("%w attribute %s.%s for index %s", ErrUnknown, cls.Name, is.Attr, be.Name())
 			}
 			stats, err := histogram.Restore(is.Stats)
 			if err != nil {
 				return nil, err
 			}
-			ix := &Index{Tree: tree, Extent: e, Attr: is.Attr, attrIdx: ai, Clustered: is.Clustered, stats: stats}
-			if _, dup := sn.indexes[tree.ID]; dup {
-				return nil, fmt.Errorf("engine: duplicate index id %d in snapshot state", tree.ID)
+			ix := &Index{Backend: be, Extent: e, Attr: is.Attr, attrIdx: ai, Clustered: is.Clustered, stats: stats}
+			if _, dup := sn.indexes[be.ID()]; dup {
+				return nil, fmt.Errorf("engine: duplicate index id %d in snapshot state", be.ID())
 			}
 			e.indexes = append(e.indexes, ix)
-			sn.indexes[tree.ID] = ix
+			sn.indexes[be.ID()] = ix
+			if sn.indexBackend == "" {
+				sn.indexBackend = be.Kind()
+			}
 		}
 		sn.extents[es.Name] = e
 	}

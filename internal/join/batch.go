@@ -50,7 +50,7 @@ func runNLBatched(env *Env, q Query) (*Result, error) {
 		parts[c] = part
 		pf := w.Handles.Fetcher() // providers
 		cf := w.Handles.Fetcher() // patients
-		return upinIdx.Tree.ScanBatched(w.Client, ranges[c].Lo, ranges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
+		return upinIdx.Backend.ScanBatched(w.Client, ranges[c].Lo, ranges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
 			var ch sim.BatchCharges
 			for _, e := range entries {
 				pf.Invalidate() // chunk/patient reads intervened
@@ -138,7 +138,7 @@ func runPHJBatched(env *Env, q Query) (*Result, error) {
 		table := make(map[storage.Rid]providerInfo)
 		tables[c] = table
 		f := w.Handles.Fetcher()
-		err := upinIdx.Tree.ScanBatched(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
+		err := upinIdx.Backend.ScanBatched(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
 			f.Invalidate()
 			var ch sim.BatchCharges
 			for _, e := range entries {
@@ -188,7 +188,7 @@ func runPHJBatched(env *Env, q Query) (*Result, error) {
 		region := sim.NewRegion(w.Meter, db.Machine.HashBudget)
 		region.Grow(totalSize)
 		f := w.Handles.Fetcher()
-		return mrnIdx.Tree.ScanBatched(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
+		return mrnIdx.Backend.ScanBatched(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
 			f.Invalidate()
 			var ch sim.BatchCharges
 			for _, e := range entries {
@@ -252,7 +252,7 @@ func runCHJBatched(env *Env, q Query) (*Result, error) {
 		table := make(map[storage.Rid][]int64)
 		tables[c] = table
 		f := w.Handles.Fetcher()
-		return mrnIdx.Tree.ScanBatched(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
+		return mrnIdx.Backend.ScanBatched(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
 			f.Invalidate()
 			var ch sim.BatchCharges
 			for _, e := range entries {
@@ -309,7 +309,7 @@ func runCHJBatched(env *Env, q Query) (*Result, error) {
 		region := sim.NewRegion(w.Meter, db.Machine.HashBudget)
 		region.Grow(totalSize)
 		f := w.Handles.Fetcher()
-		return upinIdx.Tree.ScanBatched(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
+		return upinIdx.Backend.ScanBatched(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
 			f.Invalidate()
 			var ch sim.BatchCharges
 			for _, e := range entries {
@@ -366,7 +366,7 @@ func runSMJBatched(env *Env, q Query) (*Result, error) {
 	provParts := make([][]provTuple, len(provRanges))
 	err = db.RunChunks(len(provRanges), func(w *engine.Session, c int) error {
 		f := w.Handles.Fetcher()
-		return upinIdx.Tree.ScanBatched(w.Client, provRanges[c].Lo, provRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
+		return upinIdx.Backend.ScanBatched(w.Client, provRanges[c].Lo, provRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
 			f.Invalidate()
 			var ch sim.BatchCharges
 			for _, e := range entries {
@@ -399,7 +399,7 @@ func runSMJBatched(env *Env, q Query) (*Result, error) {
 	patParts := make([][]patTuple, len(patRanges))
 	err = db.RunChunks(len(patRanges), func(w *engine.Session, c int) error {
 		f := w.Handles.Fetcher()
-		return mrnIdx.Tree.ScanBatched(w.Client, patRanges[c].Lo, patRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
+		return mrnIdx.Backend.ScanBatched(w.Client, patRanges[c].Lo, patRanges[c].Hi, bsize, func(entries []index.Entry) (bool, error) {
 			f.Invalidate()
 			var ch sim.BatchCharges
 			for _, e := range entries {

@@ -254,7 +254,7 @@ func runNL(env *Env, q Query) (*Result, error) {
 		meter := w.Meter
 		part := &Result{}
 		parts[c] = part
-		return upinIdx.Tree.Scan(w.Client, ranges[c].Lo, ranges[c].Hi, func(e index.Entry) (bool, error) {
+		return upinIdx.Backend.Scan(w.Client, ranges[c].Lo, ranges[c].Hi, func(e index.Entry) (bool, error) {
 			ph, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err
@@ -325,7 +325,7 @@ func runNOJOIN(env *Env, q Query) (*Result, error) {
 	meter := db.Meter
 	k1, k2 := q.K1, q.K2
 	res := &Result{}
-	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
+	err = mrnIdx.Backend.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
 		pa, err := db.Handles.Get(e.Rid)
 		if err != nil {
 			return false, err
@@ -420,7 +420,7 @@ func runPHJ(env *Env, q Query) (*Result, error) {
 		region := sim.NewRegion(meter, buildBudget)
 		table := make(map[storage.Rid]providerInfo)
 		tables[c] = table
-		err := upinIdx.Tree.Scan(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, func(e index.Entry) (bool, error) {
+		err := upinIdx.Backend.Scan(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, func(e index.Entry) (bool, error) {
 			ph, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err
@@ -468,7 +468,7 @@ func runPHJ(env *Env, q Query) (*Result, error) {
 		parts[c] = part
 		region := sim.NewRegion(meter, db.Machine.HashBudget)
 		region.Grow(totalSize)
-		return mrnIdx.Tree.Scan(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, func(e index.Entry) (bool, error) {
+		return mrnIdx.Backend.Scan(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, func(e index.Entry) (bool, error) {
 			pa, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err
@@ -543,7 +543,7 @@ func runCHJ(env *Env, q Query) (*Result, error) {
 		region := sim.NewRegion(meter, buildBudget)
 		table := make(map[storage.Rid][]int64) // provider rid → patient ages
 		tables[c] = table
-		err := mrnIdx.Tree.Scan(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, func(e index.Entry) (bool, error) {
+		err := mrnIdx.Backend.Scan(w.Client, buildRanges[c].Lo, buildRanges[c].Hi, func(e index.Entry) (bool, error) {
 			pa, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err
@@ -601,7 +601,7 @@ func runCHJ(env *Env, q Query) (*Result, error) {
 		parts[c] = part
 		region := sim.NewRegion(meter, db.Machine.HashBudget)
 		region.Grow(totalSize)
-		return upinIdx.Tree.Scan(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, func(e index.Entry) (bool, error) {
+		return upinIdx.Backend.Scan(w.Client, probeRanges[c].Lo, probeRanges[c].Hi, func(e index.Entry) (bool, error) {
 			meter.HashProbe()
 			region.RandomRead()
 			group := table[e.Rid]

@@ -59,7 +59,7 @@ func runSMJ(env *Env, q Query) (*Result, error) {
 	provRanges := chunkScan(1, k2, 1)
 	provParts := make([][]provTuple, len(provRanges))
 	err = db.RunChunks(len(provRanges), func(w *engine.Session, c int) error {
-		return upinIdx.Tree.Scan(w.Client, provRanges[c].Lo, provRanges[c].Hi, func(e index.Entry) (bool, error) {
+		return upinIdx.Backend.Scan(w.Client, provRanges[c].Lo, provRanges[c].Hi, func(e index.Entry) (bool, error) {
 			ph, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err
@@ -85,7 +85,7 @@ func runSMJ(env *Env, q Query) (*Result, error) {
 	patRanges := chunkScan(1, k1, 1)
 	patParts := make([][]patTuple, len(patRanges))
 	err = db.RunChunks(len(patRanges), func(w *engine.Session, c int) error {
-		return mrnIdx.Tree.Scan(w.Client, patRanges[c].Lo, patRanges[c].Hi, func(e index.Entry) (bool, error) {
+		return mrnIdx.Backend.Scan(w.Client, patRanges[c].Lo, patRanges[c].Hi, func(e index.Entry) (bool, error) {
 			pa, err := w.Handles.Get(e.Rid)
 			if err != nil {
 				return false, err

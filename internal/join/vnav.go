@@ -38,7 +38,7 @@ func runVNOJOIN(env *Env, q Query) (*Result, error) {
 	meter := db.Meter
 	k1, k2 := q.K1, q.K2
 	res := &Result{}
-	err = mrnIdx.Tree.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
+	err = mrnIdx.Backend.Scan(db.Client, 1, k1, func(e index.Entry) (bool, error) {
 		pa, err := db.Handles.Get(e.Rid)
 		if err != nil {
 			return false, err
@@ -53,7 +53,7 @@ func runVNOJOIN(env *Env, q Query) (*Result, error) {
 		if fkV.Int >= k2 {
 			return true, nil // the key value IS the predicate attribute
 		}
-		rids, err := upinIdx.Tree.Lookup(db.Client, fkV.Int)
+		rids, err := upinIdx.Backend.Lookup(db.Client, fkV.Int)
 		if err != nil {
 			return false, err
 		}

@@ -518,11 +518,11 @@ func (pl *Planner) estimateSelectivity(ix *engine.Index, pr selection.Pred) floa
 	if h, err := ix.Stats(pl.DB.Client); err == nil && h != nil {
 		return h.Selectivity(lo, hi)
 	}
-	minK, okMin, err := ix.Tree.MinKey(pl.DB.Client)
+	minK, okMin, err := ix.Backend.MinKey(pl.DB.Client)
 	if err != nil || !okMin {
 		return 1
 	}
-	maxK, okMax, err := ix.Tree.MaxKey(pl.DB.Client)
+	maxK, okMax, err := ix.Backend.MaxKey(pl.DB.Client)
 	if err != nil || !okMax || maxK <= minK {
 		return 1
 	}

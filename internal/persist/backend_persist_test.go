@@ -1,0 +1,108 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treebench/internal/derby"
+)
+
+// lsmSnapshot builds a snapshot whose indexes run on the LSM backend with
+// real structure behind them: enough update waves to flush memtables into
+// SSTables, so the backends section carries table descriptors, fences and
+// bloom filters — not just an empty memtable.
+func lsmSnapshot(t *testing.T) *derby.Snapshot {
+	t.Helper()
+	cfg := derby.DefaultConfig(20, 20, derby.ClassCluster)
+	cfg.IndexBackend = "lsm"
+	d, err := derby.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	spec := derby.DefaultWaveSpec()
+	for wave := uint64(0); wave < 48; wave++ {
+		if _, err := derby.ApplyWave(d, wave, spec); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	return snap
+}
+
+// TestLSMSnapshotRoundTrip saves an LSM-backed snapshot (SSTables, bloom
+// filters, tombstones and all), loads it back, and requires the loaded
+// copy to render every query byte-identically — and to still be an LSM.
+func TestLSMSnapshotRoundTrip(t *testing.T) {
+	snap := lsmSnapshot(t)
+	if got := snap.Engine.IndexBackend(); got != "lsm" {
+		t.Fatalf("frozen snapshot backend = %q, want lsm", got)
+	}
+	path := filepath.Join(t.TempDir(), "lsm.tbsp")
+	if err := Save(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	m, err := Inspect(path)
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if m.Backend != "lsm" {
+		t.Fatalf("manifest backend = %q, want lsm", m.Backend)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got := loaded.Engine.IndexBackend(); got != "lsm" {
+		t.Fatalf("loaded snapshot backend = %q, want lsm", got)
+	}
+	for _, warm := range []bool{false, true} {
+		want := render(t, snap, warm)
+		got := render(t, loaded, warm)
+		if want != got {
+			t.Errorf("warm=%v: loaded LSM snapshot renders differently\n--- original\n%s--- loaded\n%s", warm, want, got)
+		}
+	}
+}
+
+// TestLSMBackendsSectionCorruption flips a byte inside the backends
+// section of a saved LSM snapshot and requires Load to fail with the
+// typed ErrChecksum naming the section — a damaged bloom filter or table
+// descriptor must never load as a quietly wrong index.
+func TestLSMBackendsSectionCorruption(t *testing.T) {
+	snap := lsmSnapshot(t)
+	path := filepath.Join(t.TempDir(), "lsm.tbsp")
+	if err := Save(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	sec, ok := readTestTable(t, raw)["backends"]
+	if !ok {
+		t.Fatal("saved LSM snapshot has no backends section")
+	}
+	if sec[1] == 0 {
+		t.Fatal("backends section is empty for an LSM snapshot")
+	}
+	raw[sec[0]+sec[1]/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("loading a corrupted backends section succeeded")
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("error is not ErrChecksum: %v", err)
+	}
+	if !strings.Contains(err.Error(), "backends") {
+		t.Fatalf("error does not name the backends section: %v", err)
+	}
+}

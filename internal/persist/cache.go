@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"treebench/internal/backend"
 	"treebench/internal/derby"
 )
 
@@ -55,6 +56,7 @@ func KeyFor(cfg derby.Config) string {
 	fmt.Fprintf(&b, "createBudget=%d\n", cfg.CreateBudget)
 	fmt.Fprintf(&b, "indexBeforeLoad=%t\n", cfg.IndexBeforeLoad)
 	fmt.Fprintf(&b, "skipNumIndex=%t\n", cfg.SkipNumIndex)
+	fmt.Fprintf(&b, "indexBackend=%s\n", backend.Normalize(cfg.IndexBackend))
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }

@@ -32,8 +32,9 @@ const Magic uint32 = 0x54425350
 // change to the header, section table, or a section's encoding; old
 // readers reject newer files with ErrVersion rather than misparse them,
 // and the cache keys on it so stale files are regenerated, not misread.
-// v2 added the lineage section (MVCC chain provenance).
-const FormatVersion uint32 = 2
+// v2 added the lineage section (MVCC chain provenance); v3 added the
+// backends section (pluggable index backend descriptors).
+const FormatVersion uint32 = 3
 
 // Section identifiers. The table may list them in any order; each id may
 // appear at most once, and all of them are required.
@@ -65,6 +66,11 @@ const (
 	// parent version, delta page count and WAL offset of the commit that
 	// produced it (all zero for a freshly generated root).
 	SectionLineage uint32 = 9
+	// SectionBackends: the pluggable-backend descriptor of every index,
+	// aligned with SectionTrees — kind tag plus the kind-specific state
+	// (metadata page for the on-disk B+-tree; memtable, SSTable fences
+	// and bloom filters for the LSM).
+	SectionBackends uint32 = 10
 )
 
 // sectionName renders a section id for error messages and manifests.
@@ -88,6 +94,8 @@ func sectionName(id uint32) string {
 		return "derby"
 	case SectionLineage:
 		return "lineage"
+	case SectionBackends:
+		return "backends"
 	default:
 		return fmt.Sprintf("section-%d", id)
 	}
@@ -97,7 +105,7 @@ func sectionName(id uint32) string {
 var requiredSections = []uint32{
 	SectionMeta, SectionPages, SectionCatalog, SectionRegistry,
 	SectionExtents, SectionTrees, SectionHistograms, SectionDerby,
-	SectionLineage,
+	SectionLineage, SectionBackends,
 }
 
 // Header and table-entry sizes in bytes.

@@ -126,6 +126,9 @@ func load(f *os.File) (*derby.Snapshot, error) {
 	if err := decodeHistograms(bodies[SectionHistograms], est); err != nil {
 		return nil, err
 	}
+	if err := decodeBackends(bodies[SectionBackends], est); err != nil {
+		return nil, err
+	}
 	dst, err := decodeDerby(bodies[SectionDerby])
 	if err != nil {
 		return nil, err
@@ -168,15 +171,20 @@ type Manifest struct {
 	Patients   int
 	Clustering string
 
+	// Backend is the index-backend kind ("btree", "disk", "lsm"), from the
+	// backends section's leading tag.
+	Backend string
+
 	// Chain provenance (decoded from the lineage section): which MVCC
 	// version this file is, what it was committed over, and where in the
 	// WAL its commit record lives. All zero for a freshly generated root.
 	Chain Lineage
 }
 
-// Inspect reads a snapshot file's header, table, and derby section. Only
-// the derby section's checksum is verified — Inspect is the cheap query
-// behind `treebench-snap ls`; Verify is the thorough one.
+// Inspect reads a snapshot file's header, table, and the small provenance
+// sections (derby, lineage, backends). Only those sections' checksums are
+// verified — Inspect is the cheap query behind `treebench-snap ls`;
+// Verify is the thorough one.
 func Inspect(path string) (*Manifest, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -242,6 +250,14 @@ func inspect(f *os.File, path string, verifyAll bool) (*Manifest, error) {
 				return nil, err
 			}
 			if m.Chain, err = decodeLineage(body); err != nil {
+				return nil, err
+			}
+		case SectionBackends:
+			body, err := readSection(f, e)
+			if err != nil {
+				return nil, err
+			}
+			if m.Backend, err = backendKindOf(body); err != nil {
 				return nil, err
 			}
 		default:

@@ -23,7 +23,7 @@ func Save(path string, snap *derby.Snapshot) (err error) {
 	// Encode every catalog section up front; only the page image is
 	// streamed. The catalog is O(classes + files + indexes) — a few KB
 	// even at the 1:3 million-patient scale.
-	var meta, catalog, registry, extents, trees, histograms, dby, lineage enc
+	var meta, catalog, registry, extents, trees, histograms, dby, lineage, backends enc
 	encodeMeta(&meta, st.Engine)
 	encodeCatalog(&catalog, st.Engine.Files)
 	encodeRegistry(&registry, st.Engine.Classes)
@@ -32,6 +32,7 @@ func Save(path string, snap *derby.Snapshot) (err error) {
 	encodeHistograms(&histograms, st.Engine)
 	encodeDerby(&dby, st)
 	encodeLineage(&lineage, snap.Engine)
+	encodeBackends(&backends, st.Engine)
 
 	numPages := base.NumPages()
 	capPages := base.CapacityBytes() / storage.PageSize
@@ -51,6 +52,7 @@ func Save(path string, snap *derby.Snapshot) (err error) {
 		{SectionHistograms, histograms.b, uint64(len(histograms.b))},
 		{SectionDerby, dby.b, uint64(len(dby.b))},
 		{SectionLineage, lineage.b, uint64(len(lineage.b))},
+		{SectionBackends, backends.b, uint64(len(backends.b))},
 	}
 
 	// All lengths are known, so the whole table is computable before a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"treebench/internal/backend"
 	"treebench/internal/derby"
 	"treebench/internal/engine"
 	"treebench/internal/histogram"
@@ -361,6 +362,155 @@ func placeIndexes(st *engine.SnapshotState, have int, section string, fill func(
 		}
 	}
 	return nil
+}
+
+// --- backends ---
+
+// encodeBackends writes the pluggable-backend descriptor of every index,
+// aligned with the trees section (extent-major order). A leading kind tag
+// (the first index's kind — engines keep it uniform) lets Inspect report
+// the backend column without decoding the whole section.
+func encodeBackends(e *enc, st *engine.SnapshotState) {
+	var bks []index.BackendState
+	for _, ex := range st.Extents {
+		for _, ix := range ex.Indexes {
+			bks = append(bks, ix.Backend)
+		}
+	}
+	kind := ""
+	if len(bks) > 0 {
+		kind = bks[0].Kind
+	}
+	e.str(kind)
+	e.u32(uint32(len(bks)))
+	for _, b := range bks {
+		e.str(b.Kind)
+		e.u32(b.Tree.ID)
+		e.str(b.Tree.Name)
+		e.u32(uint32(b.Tree.Root))
+		e.i64(int64(b.Tree.Height))
+		e.i64(int64(b.Tree.Pages))
+		e.i64(int64(b.Tree.Len))
+		e.u32(uint32(b.Meta))
+		e.bool(b.LSM != nil)
+		if l := b.LSM; l != nil {
+			e.u32(l.ID)
+			e.str(l.Name)
+			e.i64(int64(l.Len))
+			e.u32(l.Seq)
+			e.u32(uint32(len(l.Mem)))
+			for _, m := range l.Mem {
+				e.i64(m.Key)
+				e.rid(m.Rid)
+				e.bool(m.Tomb)
+			}
+			e.u32(uint32(len(l.Tabs)))
+			for _, t := range l.Tabs {
+				e.u32(t.Seq)
+				e.i64(int64(t.Tier))
+				e.u32(uint32(t.Start))
+				e.i64(int64(t.Pages))
+				e.i64(int64(t.Count))
+				e.i64(t.MinKey)
+				e.i64(t.MaxKey)
+				e.u32(uint32(len(t.Fences)))
+				for _, f := range t.Fences {
+					e.i64(f)
+				}
+				e.u32(uint32(len(t.Bloom)))
+				for _, w := range t.Bloom {
+					e.u64(w)
+				}
+			}
+		}
+	}
+}
+
+// decodeBackendEntry reads one BackendState (the per-index body of the
+// backends section). Shared by decodeBackends and the WAL commit codec.
+func decodeBackendEntry(d *dec) index.BackendState {
+	b := index.BackendState{
+		Kind: d.str(),
+		Tree: index.TreeState{
+			ID:     d.u32(),
+			Name:   d.str(),
+			Root:   storage.PageID(d.u32()),
+			Height: int(d.i64()),
+			Pages:  int(d.i64()),
+			Len:    int(d.i64()),
+		},
+		Meta: storage.PageID(d.u32()),
+	}
+	if d.boolv() {
+		l := &index.LSMState{
+			ID:   d.u32(),
+			Name: d.str(),
+			Len:  int(d.i64()),
+			Seq:  d.u32(),
+		}
+		nm := d.count(15, "memtable entry")
+		for i := 0; i < nm; i++ {
+			l.Mem = append(l.Mem, index.MemEntryState{
+				Key:  d.i64(),
+				Rid:  d.rid(),
+				Tomb: d.boolv(),
+			})
+		}
+		nt := d.count(56, "sstable")
+		for i := 0; i < nt; i++ {
+			t := index.SSTableState{
+				Seq:    d.u32(),
+				Tier:   int(d.i64()),
+				Start:  storage.PageID(d.u32()),
+				Pages:  int(d.i64()),
+				Count:  int(d.i64()),
+				MinKey: d.i64(),
+				MaxKey: d.i64(),
+			}
+			nf := d.count(8, "fence")
+			for j := 0; j < nf; j++ {
+				t.Fences = append(t.Fences, d.i64())
+			}
+			nw := d.count(8, "bloom word")
+			for j := 0; j < nw; j++ {
+				t.Bloom = append(t.Bloom, d.u64())
+			}
+			l.Tabs = append(l.Tabs, t)
+		}
+		b.LSM = l
+	}
+	return b
+}
+
+func decodeBackends(b []byte, st *engine.SnapshotState) error {
+	d := newDec(b, "backends")
+	d.str() // leading uniform kind tag, for cheap inspection only
+	n := d.count(49, "backend")
+	bks := make([]index.BackendState, n)
+	for i := range bks {
+		bks[i] = decodeBackendEntry(d)
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	return placeIndexes(st, len(bks), "backends", func(ix *engine.IndexState, i int) {
+		ix.Backend = bks[i]
+	})
+}
+
+// backendKindOf reads the backends section's leading kind tag without
+// decoding the entries — the cheap path Inspect's backend column uses.
+// An empty tag (a snapshot with no indexes) reports the default kind.
+func backendKindOf(b []byte) (string, error) {
+	d := newDec(b, "backends")
+	kind := d.str()
+	if d.err != nil {
+		return "", d.err
+	}
+	if kind == "" {
+		kind = backend.DefaultKind
+	}
+	return kind, nil
 }
 
 // --- derby ---

@@ -21,8 +21,9 @@ import (
 //	u64 version | u64 wave | u32 parentPages
 //	u32 overlayCount, overlayCount × (u32 pageID + 4 KB page)
 //	u32 appendedCount, appendedCount × 4 KB page
-//	7 × (u32 len + body): meta, catalog, registry, extents, trees,
-//	                      histograms, derby — the snapshot-file sections
+//	8 × (u32 len + body): meta, catalog, registry, extents, trees,
+//	                      histograms, derby, backends — the snapshot-file
+//	                      sections
 
 // CommitRecord is one decoded WAL commit.
 type CommitRecord struct {
@@ -68,6 +69,7 @@ func EncodeCommit(version, wave uint64, delta *storage.Delta, st *derby.Snapshot
 	sub(func(t *enc) { encodeTrees(t, st.Engine) })
 	sub(func(t *enc) { encodeHistograms(t, st.Engine) })
 	sub(func(t *enc) { encodeDerby(t, st) })
+	sub(func(t *enc) { encodeBackends(t, st.Engine) })
 	return e.b
 }
 
@@ -119,6 +121,9 @@ func DecodeCommit(b []byte) (*CommitRecord, error) {
 	}
 	dst, err := decodeDerby(sub("derby"))
 	if err != nil {
+		return nil, err
+	}
+	if err := decodeBackends(sub("backends"), est); err != nil {
 		return nil, err
 	}
 	if err := d.finish(); err != nil {

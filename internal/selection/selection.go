@@ -325,7 +325,7 @@ func runIndexScan(db *engine.Database, req Request, whereIdx int, filterIdxs, pr
 	res := &Result{Access: access}
 
 	var rids []storage.Rid
-	err := ix.Tree.Scan(db.Client, lo, hi, func(e index.Entry) (bool, error) {
+	err := ix.Backend.Scan(db.Client, lo, hi, func(e index.Entry) (bool, error) {
 		rids = append(rids, e.Rid)
 		return true, nil
 	})

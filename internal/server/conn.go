@@ -231,11 +231,13 @@ func (c *conn) query(q *wire.Query) bool {
 		if pc := sess.Planner.Cache; pc != nil {
 			planHits0, planMisses0 = pc.Stats()
 		}
+		backend0 := sess.DB.BackendCounters()
 		res, err := sess.Execute(q.Stmt)
 		if pc := sess.Planner.Cache; pc != nil {
 			h, m := pc.Stats()
 			s.metrics.recordPlanCache(h-planHits0, m-planMisses0)
 		}
+		s.metrics.recordBackend(backendDelta(backend0, sess.DB.BackendCounters()))
 		if err != nil {
 			s.metrics.record(time.Since(start), 0, true)
 			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}
@@ -329,11 +331,13 @@ func (c *conn) scatter(sc *wire.Scatter) bool {
 		if pc := sess.Planner.Cache; pc != nil {
 			planHits0, planMisses0 = pc.Stats()
 		}
+		backend0 := sess.DB.BackendCounters()
 		res, err := sess.ExecutePartial(sc.Stmt, int(sc.ShardIdx), int(sc.ShardCnt))
 		if pc := sess.Planner.Cache; pc != nil {
 			h, m := pc.Stats()
 			s.metrics.recordPlanCache(h-planHits0, m-planMisses0)
 		}
+		s.metrics.recordBackend(backendDelta(backend0, sess.DB.BackendCounters()))
 		if err != nil {
 			s.metrics.record(time.Since(start), 0, true)
 			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}
@@ -409,6 +413,9 @@ func (c *conn) commit() bool {
 			done <- reply{wire.TypeError, (&wire.Error{Code: wire.CodeQuery, Msg: err.Error()}).Encode()}
 			return
 		}
+		// Clone zeroes backend counters, so the new head carries exactly
+		// this wave's flushes, compactions and probes.
+		s.metrics.recordBackend(sn.Engine.BackendCounters())
 		done <- reply{wire.TypeCommitResult, (&wire.CommitResult{
 			Version:    sn.Engine.Version(),
 			Wave:       rep.Wave,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"treebench/internal/histogram"
+	"treebench/internal/index"
 	"treebench/internal/wire"
 )
 
@@ -28,6 +29,10 @@ type metrics struct {
 	lastOp      string  // operator of the most recently executed query
 	wallUs      []int64 // wall latency per served query, microseconds
 	simMs       []int64 // simulated latency per served query, milliseconds
+
+	// backend accumulates per-query index-backend counter deltas (bloom
+	// probes, SSTables read, compactions, pages written) across sessions.
+	backend index.BackendCounters
 }
 
 func (m *metrics) sessionOpened() {
@@ -77,6 +82,26 @@ func (m *metrics) recordPlan(heuristic bool, operator string) {
 	m.mu.Unlock()
 }
 
+// recordBackend rolls one query's index-backend counter delta into the
+// server totals.
+func (m *metrics) recordBackend(delta index.BackendCounters) {
+	m.mu.Lock()
+	m.backend.Add(delta)
+	m.mu.Unlock()
+}
+
+// backendDelta computes what one execution added to the session's
+// index-backend counters.
+func backendDelta(before, after index.BackendCounters) index.BackendCounters {
+	return index.BackendCounters{
+		BloomHits:    after.BloomHits - before.BloomHits,
+		BloomMisses:  after.BloomMisses - before.BloomMisses,
+		SSTablesRead: after.SSTablesRead - before.SSTablesRead,
+		Compactions:  after.Compactions - before.Compactions,
+		PagesWritten: after.PagesWritten - before.PagesWritten,
+	}
+}
+
 // record notes one completed query execution.
 func (m *metrics) record(wall, simulated time.Duration, queryErr bool) {
 	m.mu.Lock()
@@ -113,6 +138,12 @@ func (m *metrics) snapshot(queueDepth, sessions, busySessions, snapshotPages, sn
 		PlansHeuristic:  m.plansHeur,
 		BatchSize:       batchSize,
 		LastOperator:    m.lastOp,
+
+		BackendBloomHits:    m.backend.BloomHits,
+		BackendBloomMisses:  m.backend.BloomMisses,
+		BackendSSTablesRead: m.backend.SSTablesRead,
+		BackendCompactions:  m.backend.Compactions,
+		BackendPagesWritten: m.backend.PagesWritten,
 	}
 	s.WallP50us, s.WallP95us, s.WallP99us, s.WallHist = summarize(m.wallUs)
 	s.SimP50ms, s.SimP95ms, s.SimP99ms, s.SimHist = summarize(m.simMs)

@@ -323,10 +323,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // the database has been generated (zero before).
 func (s *Server) Stats() *wire.Stats {
 	var pages, bytes int64
-	var source string
+	var source, ixBackend string
 	if sn := s.snap.Load(); sn != nil {
 		pages = int64(sn.Engine.Pages())
 		bytes = sn.Engine.Bytes()
+		ixBackend = sn.Engine.IndexBackend()
 		if p := s.snapSource.Load(); p != nil {
 			source = *p
 		}
@@ -336,6 +337,7 @@ func (s *Server) Stats() *wire.Stats {
 		batch = engine.DefaultBatch
 	}
 	st := s.metrics.snapshot(s.waiters.Load(), int64(s.cfg.Sessions), s.busy.Load(), pages, bytes, batch, source)
+	st.IndexBackend = ixBackend
 	st.ShardIdx = int64(s.cfg.ShardIdx)
 	st.ShardCnt = int64(s.cfg.ShardCnt)
 	if s.cfg.Store != nil {

@@ -42,6 +42,10 @@ type Config struct {
 	// the session's planner. Plans hold references into the session's
 	// database fork, so a cache must not be shared across forks.
 	PlanCache *oql.PlanCache
+	// IndexBackend selects the pluggable index structure indexes created
+	// through this session use ("btree", "disk", "lsm"; empty keeps the
+	// database's current kind). Indexes that already exist are unaffected.
+	IndexBackend string
 }
 
 // New returns a cold session over db using the cost-based strategy.
@@ -73,6 +77,12 @@ func NewWith(db *engine.Database, cfg Config) *Session {
 	}
 	if cfg.Batch != 0 {
 		db.SetBatch(cfg.Batch)
+	}
+	if cfg.IndexBackend != "" {
+		// Callers validate the kind at flag-parse time (CheckKind); an
+		// invalid value here falls back to the database's current kind
+		// rather than failing a constructor that cannot return an error.
+		_ = db.SetIndexBackend(cfg.IndexBackend)
 	}
 	return &Session{
 		DB:      db,

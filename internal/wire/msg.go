@@ -258,6 +258,17 @@ type Stats struct {
 	WalBytes    int64 // payload bytes appended to the WAL since boot
 	WalSyncs    int64 // fsync batches — Records/Syncs is the group-commit ratio
 	WalTail     int64 // current WAL end offset
+
+	// Index backend (v7): which pluggable index structure the server's
+	// sessions run ("btree", "disk", "lsm") and the cumulative backend
+	// counters across every executed query. All five counters are zero for
+	// the in-memory B+-tree except BackendPagesWritten.
+	IndexBackend        string
+	BackendBloomHits    int64
+	BackendBloomMisses  int64
+	BackendSSTablesRead int64
+	BackendCompactions  int64
+	BackendPagesWritten int64
 }
 
 func (m *Stats) Encode() []byte {
@@ -273,6 +284,8 @@ func (m *Stats) Encode() []byte {
 		m.ShardIdx, m.ShardCnt,
 		m.HeadVersion, m.BaseVersion, m.Versions, m.Commits, m.Compactions,
 		m.WalRecords, m.WalBytes, m.WalSyncs, m.WalTail,
+		m.BackendBloomHits, m.BackendBloomMisses, m.BackendSSTablesRead,
+		m.BackendCompactions, m.BackendPagesWritten,
 	} {
 		e.i64(v)
 	}
@@ -280,6 +293,7 @@ func (m *Stats) Encode() []byte {
 	e.str(m.SimHist)
 	e.str(m.SnapshotSource)
 	e.str(m.LastOperator)
+	e.str(m.IndexBackend)
 	return e.b
 }
 
@@ -298,6 +312,8 @@ func DecodeStats(b []byte) (*Stats, error) {
 		&m.ShardIdx, &m.ShardCnt,
 		&m.HeadVersion, &m.BaseVersion, &m.Versions, &m.Commits, &m.Compactions,
 		&m.WalRecords, &m.WalBytes, &m.WalSyncs, &m.WalTail,
+		&m.BackendBloomHits, &m.BackendBloomMisses, &m.BackendSSTablesRead,
+		&m.BackendCompactions, &m.BackendPagesWritten,
 	} {
 		*p = d.i64()
 	}
@@ -305,6 +321,7 @@ func DecodeStats(b []byte) (*Stats, error) {
 	m.SimHist = d.str()
 	m.SnapshotSource = d.str()
 	m.LastOperator = d.str()
+	m.IndexBackend = d.str()
 	return m, d.finish("stats")
 }
 

@@ -30,7 +30,9 @@ import (
 // v6 added the write path: Commit/CommitResult frames for update-wave
 // commits against a WAL-backed MVCC chain, chain + WAL counters in Stats,
 // and CodeReadOnly for commit attempts against a store-less server.
-const Version uint32 = 6
+// v7 added pluggable index backends: Stats.IndexBackend plus the bloom /
+// SSTable / compaction / pages-written backend counters.
+const Version uint32 = 7
 
 // MaxPayload bounds a frame's payload; larger length prefixes are rejected
 // before any allocation (a malformed or hostile peer cannot make us

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs the B1 index-backend ablation and records it as BENCH_index.json:
+# the same database, indexed-selection workload and update waves under
+# the in-memory B+-tree, the paged on-disk B+-tree and the LSM-tree.
+# Query results are byte-identical across backends by construction (the
+# equivalence test pins that); this script records where the cost moved
+# and enforces the crossover the ablation exists to show:
+#
+#   - write absorption: the LSM's update waves must write FEWER pages
+#     than the in-memory B+-tree's (the memtable absorbs index
+#     maintenance the trees pay per update);
+#   - read amplification: the LSM's post-wave cold point scans (the Eq
+#     query path, which merges every overlapping SSTable) must read MORE
+#     pages than the B+-tree's;
+#   - bloom savings: point lookups must skip at least MIN_BLOOM_SKIP%
+#     (default 50) of candidate SSTables by bloom probe.
+#
+# All three gates hold on every runner: the numbers are simulated page
+# counts, deterministic at any CPU count.
+#
+#   TREEBENCH_SF=N      scale factor (default 10)
+#   MIN_BLOOM_SKIP=N    bloom gate percentage (default 50)
+#   BENCH_INDEX_OUT=f   output path (default BENCH_index.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_INDEX_OUT:-BENCH_index.json}
+MIN_BLOOM_SKIP=${MIN_BLOOM_SKIP:-50}
+SF=${TREEBENCH_SF:-10}
+
+RAW=$(go run ./cmd/treebench -run B1 -sf "$SF")
+echo "$RAW"
+
+# Table rows: backend  sel5%pages  sel5%time  wavewrites  compactions  scanpages  lookuppages  skip%
+row() { echo "$RAW" | awk -v b="$1" '$1 == b { print; exit }'; }
+field() { row "$1" | awk -v f="$2" '{ print $f }'; }
+
+for b in btree disk lsm; do
+  if [ -z "$(row $b)" ]; then
+    echo "bench-index: no $b row in B1 output" >&2
+    exit 1
+  fi
+done
+
+json_row() {
+  local b=$1
+  cat <<EOF
+    "$b": {
+      "selection_5pct_pages": $(field $b 2),
+      "selection_5pct_sec": $(field $b 3),
+      "wave_write_pages": $(field $b 4),
+      "compactions": $(field $b 5),
+      "point_scan_pages": $(field $b 6),
+      "point_lookup_pages": $(field $b 7),
+      "bloom_skip_pct": $(field $b 8 | tr -d '%-' | awk '{ print ($1 == "") ? 0 : $1 }')
+    }
+EOF
+}
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "B1 index-backend ablation: 128 update waves, cold 5% indexed selection, 64 post-wave point reads",
+  "scale_factor": $SF,
+  "backends": {
+$(json_row btree),
+$(json_row disk),
+$(json_row lsm)
+  },
+  "gates": {
+    "lsm_wave_writes_below_btree": true,
+    "lsm_point_scans_above_btree": true,
+    "min_bloom_skip_pct": $MIN_BLOOM_SKIP
+  },
+  "gates_enforced": true
+}
+EOF
+echo "bench-index: wrote $OUT"
+
+BT_W=$(field btree 4); LSM_W=$(field lsm 4)
+BT_R=$(field btree 6); LSM_R=$(field lsm 6)
+SKIP=$(field lsm 8 | tr -d '%')
+
+awk -v l="$LSM_W" -v b="$BT_W" 'BEGIN { exit !(l + 0 < b + 0) }' || {
+  echo "bench-index: LSM wave writes ($LSM_W) not below btree ($BT_W) — write absorption gate failed" >&2
+  exit 1
+}
+awk -v l="$LSM_R" -v b="$BT_R" 'BEGIN { exit !(l + 0 > b + 0) }' || {
+  echo "bench-index: LSM point scans ($LSM_R) not above btree ($BT_R) — read amplification gate failed" >&2
+  exit 1
+}
+awk -v s="$SKIP" -v min="$MIN_BLOOM_SKIP" 'BEGIN { exit !(s + 0 >= min + 0) }' || {
+  echo "bench-index: LSM bloom skip ${SKIP}% below required ${MIN_BLOOM_SKIP}% — bloom gate failed" >&2
+  exit 1
+}
+echo "bench-index: gates passed (writes ${LSM_W}<${BT_W}, point scans ${LSM_R}>${BT_R}, bloom skip ${SKIP}%>=${MIN_BLOOM_SKIP}%)"

@@ -38,6 +38,7 @@
 package treebench
 
 import (
+	"treebench/internal/backend"
 	"treebench/internal/collection"
 	"treebench/internal/core"
 	"treebench/internal/derby"
@@ -354,6 +355,18 @@ func QueryJobsFromEnv(def int) int { return core.QueryJobsFromEnv(def) }
 // 1 runs the legacy scalar operators). Batch sizes change wall-clock speed
 // only; simulated results are identical at any setting.
 func BatchFromEnv(def int) int { return core.BatchFromEnv(def) }
+
+// IndexBackendFromEnv resolves an index-backend kind from
+// TREEBENCH_INDEX_BACKEND, falling back to def. Backends change physical
+// layout and cost accounting, never query results.
+func IndexBackendFromEnv(def string) string { return core.IndexBackendFromEnv(def) }
+
+// CheckIndexBackend validates an index-backend kind, returning an error
+// that lists the valid kinds for an unknown one.
+func CheckIndexBackend(kind string) error { return backend.CheckKind(kind) }
+
+// IndexBackends lists the registered index backend kinds.
+func IndexBackends() []string { return backend.Kinds() }
 
 // ExperimentIDs lists the reproducible tables and figures.
 func ExperimentIDs() []string { return core.ExperimentIDs() }
