@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-fork bench-snap bench-query bench-vector bench-dist bench-index experiments experiments-full plots cover fuzz smoke snap-smoke dist-smoke clean
+.PHONY: all build test race bench bench-fork bench-snap bench-query bench-vector bench-dist bench-index bench-cache experiments experiments-full plots cover fuzz smoke snap-smoke dist-smoke clean
 
 all: build test
 
@@ -75,6 +75,14 @@ bench-wal:
 # (default 50) of candidate SSTables.
 bench-index:
 	./scripts/bench_index.sh
+
+# Shared buffer pool: cold vs warm repeated work, readahead vs none on
+# cold sequential scans (direct I/O where the filesystem supports it),
+# and 8-session RSS under a bounded pool vs the legacy unbounded cache.
+# Writes BENCH_cache.json and enforces the three gates (warm >= 2x,
+# readahead >= 1.3x on true-cold scans, pooled RSS below unbounded).
+bench-cache:
+	./scripts/bench_cache.sh
 
 # The experiment CLI (scale factor 10 by default; SF=1 is paper scale).
 experiments:

@@ -228,6 +228,16 @@ func main() {
 					st.IndexBackend, st.BackendBloomHits, st.BackendBloomMisses,
 					st.BackendSSTablesRead, st.BackendCompactions, st.BackendPagesWritten)
 			}
+			if st.PoolHits+st.PoolMisses > 0 || st.PoolCapacityPages > 0 {
+				hitRate := 0.0
+				if t := st.PoolHits + st.PoolMisses; t > 0 {
+					hitRate = 100 * float64(st.PoolHits) / float64(t)
+				}
+				fmt.Printf("server pool:  %d hits / %d misses (%.0f%%), %d evictions, readahead %d issued / %d used / %d wasted, %d/%d pages resident\n",
+					st.PoolHits, st.PoolMisses, hitRate, st.PoolEvictions,
+					st.PoolReadaheadIssued, st.PoolReadaheadUsed, st.PoolReadaheadWasted,
+					st.PoolResidentPages, st.PoolCapacityPages)
+			}
 			fmt.Printf("server wall   p50 %dµs p95 %dµs p99 %dµs  hist %s\n",
 				st.WallP50us, st.WallP95us, st.WallP99us, st.WallHist)
 			fmt.Printf("server simed  p50 %dms p95 %dms p99 %dms  hist %s\n",

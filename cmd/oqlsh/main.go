@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"treebench"
+	"treebench/internal/bufpool"
 	"treebench/internal/client"
 	"treebench/internal/oql"
 	"treebench/internal/session"
@@ -64,8 +65,11 @@ func main() {
 		qjobs      = flag.Int("qj", 0, "intra-query workers (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); output identical at any setting)")
 		batch      = flag.Int("batch", 0, "vectorized-execution batch size (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; output identical at any setting)")
 		ixBackend  = flag.String("index-backend", "", "index backend: btree, disk, or lsm (default from TREEBENCH_INDEX_BACKEND or btree; output identical across backends)")
+		poolMB     = flag.Int("bufpool-mb", bufpool.CapacityMBFromEnv(bufpool.DefaultCapacityMB), "shared buffer pool size in MB for snapshot-backed databases (also TREEBENCH_BUFPOOL_MB; 0 disables the pool; output identical at any setting)")
+		rahead     = flag.Int("readahead", bufpool.ReadaheadFromEnv(bufpool.DefaultReadahead), "buffer-pool readahead window in pages (also TREEBENCH_READAHEAD; 0 disables prefetch; output identical at any setting)")
 	)
 	flag.Parse()
+	bufpool.Setup(*poolMB, *rahead)
 	scripted := *stmts != "" || *script != ""
 
 	if *coord != "" {

@@ -13,7 +13,13 @@
 //	                [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
 //	                [-clustering class] [-seed 1997]
 //	                [-snapshot-dir DIR] [-save-snapshot]
+//	                [-bufpool-mb N] [-readahead N] [-pprof ADDR]
 //	                [-query-timeout 60s] [-v]
+//
+// -bufpool-mb/-readahead size the coordinator's own shared buffer pool
+// (its planning snapshot reads through it; also TREEBENCH_BUFPOOL_MB /
+// TREEBENCH_READAHEAD; 0 disables). -pprof ADDR serves net/http/pprof
+// on ADDR for profiling the scatter-gather and pool hot paths.
 //
 // The shard list is positional: the i-th address must be a treebenchd
 // started with -shard i/N over the SAME -providers/-avg/-clustering/-seed.
@@ -31,12 +37,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"treebench/internal/bufpool"
 	"treebench/internal/core"
 	"treebench/internal/derby"
 	"treebench/internal/dist"
@@ -55,9 +64,20 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
 		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
 		saveSnap   = flag.Bool("save-snapshot", false, "cache the planning snapshot even without -snapshot-dir")
+		bufpoolMB  = flag.Int("bufpool-mb", bufpool.CapacityMBFromEnv(bufpool.DefaultCapacityMB), "shared buffer pool size in MB (also TREEBENCH_BUFPOOL_MB; 0 disables the pool)")
+		readahead  = flag.Int("readahead", bufpool.ReadaheadFromEnv(bufpool.DefaultReadahead), "buffer-pool readahead window in pages (also TREEBENCH_READAHEAD; 0 disables prefetch)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061; empty disables)")
 		verbose    = flag.Bool("v", false, "log shard dials and lifecycle to stderr")
 	)
 	flag.Parse()
+	bufpool.Setup(*bufpoolMB, *readahead)
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "treebench-coord: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	addrs := splitAddrs(*shards)
 	if len(addrs) == 0 {

@@ -9,6 +9,7 @@
 //	treebench-snap load   FILE
 //	treebench-snap verify FILE...
 //	treebench-snap chain  DIR
+//	treebench-snap bench  -file FILE [-mode query|sweep] [-sessions N] [-bufpool-mb N] [-readahead N] [-direct] [-versus]
 //	treebench-snap ls     [-dir DIR]
 //	treebench-snap rm     [-dir DIR] [-all] [KEY|FILE ...]
 //
@@ -26,6 +27,10 @@
 // record — CRCs, version continuity from the base, decodable commit
 // bodies — printing one line per commit and reporting (without
 // truncating) a torn tail. It is the offline fsck for the write path.
+//
+// bench times repeated rounds of real work against a snapshot file under
+// a chosen buffer-pool configuration (see bench.go); it is the driver
+// behind scripts/bench_cache.sh.
 //
 // The cache directory is -dir, else $TREEBENCH_SNAPSHOT_DIR, else the
 // user cache directory (persist.DefaultDir).
@@ -62,6 +67,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "chain":
 		err = cmdChain(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "ls":
 		err = cmdLs(os.Args[2:])
 	case "rm":
@@ -86,6 +93,7 @@ func usage() {
   treebench-snap load   FILE
   treebench-snap verify FILE...
   treebench-snap chain  DIR
+  treebench-snap bench  -file FILE [-mode query|sweep] [-stmt OQL] [-sessions N] [-rounds N] [-bufpool-mb N] [-readahead N] [-direct] [-versus]
   treebench-snap ls     [-dir DIR]
   treebench-snap rm     [-dir DIR] [-all] [KEY|FILE ...]`)
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"treebench"
+	"treebench/internal/bufpool"
 )
 
 func main() {
@@ -44,8 +45,11 @@ func main() {
 		snapDir = flag.String("snapshot-dir", "", "cache generated databases as snapshots in this directory (default from TREEBENCH_SNAPSHOT_DIR; empty disables)")
 		csvPath = flag.String("csv", "", "export the results database as CSV to this file")
 		gnuplot = flag.String("gnuplot", "", "write <id>.dat and <id>.gp gnuplot files for each experiment into this directory")
+		poolMB  = flag.Int("bufpool-mb", bufpool.CapacityMBFromEnv(bufpool.DefaultCapacityMB), "shared buffer pool size in MB for snapshot-backed runs (also TREEBENCH_BUFPOOL_MB; 0 disables the pool; results identical at any setting)")
+		rahead  = flag.Int("readahead", bufpool.ReadaheadFromEnv(bufpool.DefaultReadahead), "buffer-pool readahead window in pages (also TREEBENCH_READAHEAD; 0 disables prefetch; results identical at any setting)")
 	)
 	flag.Parse()
+	bufpool.Setup(*poolMB, *rahead)
 
 	if *list {
 		fmt.Println("experiments:")

@@ -8,6 +8,7 @@
 //	treebenchd [-addr 127.0.0.1:8629] [-providers 200] [-avg 50]
 //	           [-clustering class] [-seed 1997] [-sessions N] [-qj N] [-batch N]
 //	           [-index-backend btree|disk|lsm]
+//	           [-bufpool-mb N] [-readahead N] [-pprof ADDR]
 //	           [-max-concurrent N] [-max-queue 64] [-query-timeout 30s]
 //	           [-snapshot-dir DIR] [-save-snapshot] [-shard i/N] [-v]
 //	           [-wal DIR] [-compact-every N]
@@ -33,6 +34,18 @@
 // "lsm"), falling back to TREEBENCH_INDEX_BACKEND when left empty; an
 // unknown kind is rejected at startup with the valid list. Backends change
 // physical layout and page-granular cost accounting, never query results.
+//
+// -bufpool-mb sizes the process-wide shared buffer pool every session and
+// chain store reads snapshot-file pages through (default 256, also
+// TREEBENCH_BUFPOOL_MB; 0 disables the pool and falls back to unbounded
+// per-snapshot page caching). -readahead sets the pool's asynchronous
+// prefetch window in pages for sequential scans (default 32, also
+// TREEBENCH_READAHEAD; 0 disables prefetch). Both change real wall clock
+// and real RSS only — simulated meters and query tables are byte-identical
+// at every setting.
+//
+// -pprof ADDR serves net/http/pprof on ADDR (e.g. 127.0.0.1:6060) so the
+// buffer-pool and readahead hot paths can be profiled under oqlload.
 //
 // -shard i/N runs the daemon as shard i of an N-shard cluster behind
 // cmd/treebench-coord: it still serves plain queries exactly as a
@@ -66,6 +79,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -73,6 +88,7 @@ import (
 	"time"
 
 	"treebench"
+	"treebench/internal/bufpool"
 	"treebench/internal/core"
 	"treebench/internal/derby"
 	"treebench/internal/persist"
@@ -94,6 +110,9 @@ func main() {
 		qjobs      = flag.Int("qj", 0, "intra-query workers per session (default from TREEBENCH_QUERY_JOBS or min(NumCPU, 4); results identical at any setting)")
 		batch      = flag.Int("batch", 0, "vectorized-execution batch size per session (default from TREEBENCH_BATCH or 1024; 1 = scalar operators; results identical at any setting)")
 		ixBackend  = flag.String("index-backend", "", "index backend: btree, disk, or lsm (default from TREEBENCH_INDEX_BACKEND or btree; results identical across backends)")
+		bufpoolMB  = flag.Int("bufpool-mb", bufpool.CapacityMBFromEnv(bufpool.DefaultCapacityMB), "shared buffer pool size in MB (also TREEBENCH_BUFPOOL_MB; 0 disables the pool; results identical at any setting)")
+		readahead  = flag.Int("readahead", bufpool.ReadaheadFromEnv(bufpool.DefaultReadahead), "buffer-pool readahead window in pages (also TREEBENCH_READAHEAD; 0 disables prefetch; results identical at any setting)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget (queue wait + execution)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight queries")
 		snapDir    = flag.String("snapshot-dir", os.Getenv(core.SnapshotDirEnvVar), "snapshot cache directory for instant warm boots (also TREEBENCH_SNAPSHOT_DIR; empty disables)")
@@ -110,6 +129,15 @@ func main() {
 	if *replicas != 0 {
 		fatal(fmt.Errorf("-replicas was removed after its deprecation cycle; " +
 			"replace it with -sessions (same meaning, same value)"))
+	}
+	// Configure the shared buffer pool before anything loads a snapshot.
+	bufpool.Setup(*bufpoolMB, *readahead)
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "treebenchd: pprof: %v\n", err)
+			}
+		}()
 	}
 
 	cl, err := parseClustering(*clustering)

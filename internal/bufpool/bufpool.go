@@ -1,0 +1,632 @@
+// Package bufpool implements the process-wide shared page buffer pool:
+// one bounded, concurrency-safe cache of backing-file pages shared by
+// every session, fork, and shard in the process. It sits under the
+// *real* I/O path — storage.Base faulting pages out of a persisted
+// snapshot file — and is invisible to the simulated meters: the paper's
+// two-level client/server caches in internal/cache keep deciding what is
+// a simulated hit or miss, while the pool decides what is physically
+// resident. Simulated tables and counters are therefore byte-identical
+// at every pool size and readahead setting; only wall clock and RSS
+// move.
+//
+// Eviction is sharded 2Q (a scan-resistant LRU variant): a page's first
+// touch admits it to a probationary queue, a second touch promotes it to
+// the protected queue, and eviction drains probation first. A cold
+// sequential scan therefore streams through probation without displacing
+// the hot index/root pages that earned protection, which is exactly the
+// drift between scan-heavy and point-heavy phases that makes plain LRU
+// thrash.
+//
+// Frames are not recycled: evicting a frame drops the pool's reference
+// and the garbage collector reclaims the buffer once the last reader's
+// alias dies. That is what makes eviction safe under the engine's
+// pervasive buffer aliasing (record slices, simulated cache entries, COW
+// copies all alias page buffers) — an evicted frame's content can never
+// be scribbled over. Pin/Unpin refcounts additionally exempt a frame
+// from eviction entirely, so repeat Gets of a pinned page are guaranteed
+// pool hits (the WAL-replay warm set and the snap tool's page sweep pin
+// their working set this way).
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Source supplies page contents for one registered backing file.
+// ReadPage fills dst (one page) with page i's content; it must be safe
+// for concurrent use. It mirrors storage.PageSource so a snapshot file's
+// reader plugs in unchanged.
+type Source interface {
+	ReadPage(i int, dst []byte) error
+}
+
+// RangeSource is the optional Source capability the readahead pipeline
+// prefers: one positioned read covering len(dst)/pageSize consecutive
+// pages starting at lo. A snapshot file implements it with a single
+// ReadAt, which is what turns a cold scan's page-per-syscall faulting
+// into one syscall per readahead window.
+type RangeSource interface {
+	Source
+	ReadPageRange(lo int, dst []byte) error
+}
+
+// VectorSource is the strongest Source capability: one positioned
+// vectored read scattering consecutive pages starting at lo into the
+// caller's separate buffers. The readahead paths use it to fill page
+// frames DIRECTLY — one syscall per window and no staging copy, where
+// the RangeSource path reads into scratch and pays a memmove per page.
+// A snapshot file implements it with preadv(2) on Linux.
+type VectorSource interface {
+	Source
+	ReadPageVec(lo int, bufs [][]byte) error
+}
+
+// Stats is a point-in-time snapshot of the pool's counters.
+type Stats struct {
+	Hits      int64 // Gets served from a resident frame
+	Misses    int64 // Gets that faulted from the backing source
+	Evictions int64 // frames dropped by capacity pressure
+
+	ReadaheadIssued int64 // pages prefetched by the background fetchers
+	ReadaheadUsed   int64 // prefetched pages later consumed by a Get
+	ReadaheadWasted int64 // prefetched pages evicted before any Get
+
+	ResidentPages int64 // frames resident right now
+	CapacityPages int64 // frame capacity (0 = unbounded)
+	Sources       int64 // backing files registered
+}
+
+// HitRate returns hits/(hits+misses) in percent, 0 when idle.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return 100 * float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+const (
+	numShards = 16
+
+	// seqThreshold is how many consecutive page accesses a handle must
+	// see before the readahead pipeline engages. Below it, point lookups
+	// and tree descents never trigger speculative I/O.
+	seqThreshold = 4
+
+	// minShardFrames keeps a tiny pool functional: each shard can always
+	// hold a few frames, so even -bufpool-mb 1 makes progress (just with
+	// brutal eviction pressure — the equivalence tests run there on
+	// purpose).
+	minShardFrames = 8
+)
+
+// key identifies one page of one registered source.
+type key struct {
+	src  uint64
+	page uint32
+}
+
+// frame is one resident page.
+type frame struct {
+	key key
+	buf []byte
+
+	pins int32 // eviction exemption refcount; guarded by the shard mutex
+
+	// prefetched marks a frame admitted by the readahead pipeline and
+	// not yet consumed; the first Get clears it (readahead used), an
+	// eviction while still set counts as readahead wasted.
+	prefetched bool
+
+	hot        bool // protected (true) or probationary (false) queue
+	prev, next *frame
+}
+
+// list is an intrusive LRU queue: head is LRU (eviction end), tail MRU.
+type list struct {
+	head, tail *frame
+	n          int
+}
+
+func (l *list) pushMRU(f *frame) {
+	f.prev, f.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = f
+	} else {
+		l.head = f
+	}
+	l.tail = f
+	l.n++
+}
+
+func (l *list) remove(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		l.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		l.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+	l.n--
+}
+
+// inflight tracks one page read in progress, so concurrent faulters of
+// the same page share one backing read instead of issuing duplicates.
+type inflight struct {
+	done chan struct{}
+	buf  []byte
+	err  error
+}
+
+// shard is one lock domain of the pool.
+type shard struct {
+	mu        sync.Mutex
+	frames    map[key]*frame
+	inflight  map[key]*inflight
+	probation list // first-touch pages; evicted first (scan resistance)
+	protected list // pages touched at least twice
+	capFrames int  // 0 = unbounded
+}
+
+// Pool is the shared buffer pool. Construct with New; the process-wide
+// instance lives in this package's global registry (see Setup/Active).
+type Pool struct {
+	pageSize  int
+	readahead int
+	shards    [numShards]shard
+	nextSrc   atomic.Uint64
+
+	hits, misses, evictions    atomic.Int64
+	raIssued, raUsed, raWasted atomic.Int64
+
+	fetchOnce sync.Once
+	fetchQ    chan fetchReq
+	qmu       sync.RWMutex
+	closed    bool
+
+	// rangeScratch recycles the window-sized staging buffers of batched
+	// demand faults; without it a long cold scan churns one readahead
+	// window of garbage per window of progress.
+	rangeScratch sync.Pool
+}
+
+// New returns a pool of capacityBytes (0 = unbounded) over pageSize
+// frames. readahead is the prefetch window in pages (0 disables the
+// readahead pipeline; detection and fetchers then never run).
+func New(capacityBytes int64, pageSize, readahead int) *Pool {
+	if pageSize < 1 {
+		panic("bufpool: page size < 1")
+	}
+	if readahead < 0 {
+		readahead = 0
+	}
+	p := &Pool{pageSize: pageSize, readahead: readahead}
+	if readahead > 0 {
+		p.rangeScratch.New = func() any {
+			b := make([]byte, readahead*pageSize)
+			return &b
+		}
+	}
+	capFrames := 0
+	if capacityBytes > 0 {
+		capFrames = int(capacityBytes) / pageSize
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sizeHint := 0
+		if capFrames > 0 {
+			sh.capFrames = capFrames / numShards
+			if sh.capFrames < minShardFrames {
+				sh.capFrames = minShardFrames
+			}
+			// Pre-size toward capacity so a filling scan doesn't pay
+			// incremental map rehashes on the fault path (capped: a large
+			// pool may never fill).
+			sizeHint = sh.capFrames
+			if sizeHint > 1024 {
+				sizeHint = 1024
+			}
+		}
+		sh.frames = make(map[key]*frame, sizeHint)
+		sh.inflight = make(map[key]*inflight)
+	}
+	return p
+}
+
+// PageSize returns the pool's frame size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Readahead returns the configured prefetch window in pages.
+func (p *Pool) Readahead() int { return p.readahead }
+
+// Register adds a backing file of numPages pages and returns its handle.
+// If src also implements RangeSource the readahead pipeline batches its
+// prefetches into single range reads.
+func (p *Pool) Register(src Source, numPages int) *Handle {
+	h := &Handle{
+		pool:     p,
+		id:       p.nextSrc.Add(1),
+		src:      src,
+		numPages: numPages,
+	}
+	h.rs, _ = src.(RangeSource)
+	h.vec, _ = src.(VectorSource)
+	h.ra.last = -2 // so page 0 never looks like the successor of a previous access
+	return h
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Hits:            p.hits.Load(),
+		Misses:          p.misses.Load(),
+		Evictions:       p.evictions.Load(),
+		ReadaheadIssued: p.raIssued.Load(),
+		ReadaheadUsed:   p.raUsed.Load(),
+		ReadaheadWasted: p.raWasted.Load(),
+		Sources:         int64(p.nextSrc.Load()),
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		s.ResidentPages += int64(len(sh.frames))
+		s.CapacityPages += int64(sh.capFrames)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Close stops the background fetchers. Handles stay usable (fault paths
+// are synchronous); further prefetch requests are dropped. It exists so
+// tests can reconfigure the global pool without leaking goroutines.
+func (p *Pool) Close() {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	if !p.closed {
+		p.closed = true
+		if p.fetchQ != nil {
+			close(p.fetchQ)
+		}
+	}
+}
+
+func (p *Pool) shardFor(k key) *shard {
+	// Mix source and page so consecutive pages of one file spread over
+	// shards (a sequential scan would otherwise convoy on one mutex).
+	h := k.src*0x9E3779B97F4A7C15 + uint64(k.page)*0xBF58476D1CE4E5B9
+	return &p.shards[(h^(h>>29))%numShards]
+}
+
+// touchLocked records a hit on f: probation promotes to protected,
+// protected moves to MRU, and a prefetched frame graduates to consumed.
+// Caller holds the shard mutex.
+func (sh *shard) touchLocked(p *Pool, f *frame) {
+	if f.prefetched {
+		f.prefetched = false
+		p.raUsed.Add(1)
+	}
+	if f.hot {
+		sh.protected.remove(f)
+		sh.protected.pushMRU(f)
+		return
+	}
+	sh.probation.remove(f)
+	f.hot = true
+	sh.protected.pushMRU(f)
+	// Keep the protected queue from monopolizing the shard: demote its
+	// LRU back to probation-MRU past 3/4 of capacity, where eviction can
+	// reach it if it stays cold.
+	if sh.capFrames > 0 {
+		protCap := sh.capFrames * 3 / 4
+		if protCap < 1 {
+			protCap = 1
+		}
+		for sh.protected.n > protCap && sh.protected.head != nil {
+			d := sh.protected.head
+			sh.protected.remove(d)
+			d.hot = false
+			sh.probation.pushMRU(d)
+		}
+	}
+}
+
+// admitLocked inserts a new frame in probation and evicts past capacity.
+// Caller holds the shard mutex; the key must not be resident.
+func (sh *shard) admitLocked(p *Pool, k key, buf []byte, prefetched bool) *frame {
+	f := &frame{key: k, buf: buf, prefetched: prefetched}
+	sh.frames[k] = f
+	sh.probation.pushMRU(f)
+	sh.evictLocked(p)
+	return f
+}
+
+// evictLocked drops frames until the shard is within capacity, draining
+// probation before protected and skipping pinned frames. If every frame
+// is pinned the shard runs over capacity rather than blocking.
+func (sh *shard) evictLocked(p *Pool) {
+	if sh.capFrames == 0 {
+		return
+	}
+	for len(sh.frames) > sh.capFrames {
+		v := victim(&sh.probation)
+		if v == nil {
+			v = victim(&sh.protected)
+		}
+		if v == nil {
+			return // everything pinned
+		}
+		if v.hot {
+			sh.protected.remove(v)
+		} else {
+			sh.probation.remove(v)
+		}
+		delete(sh.frames, v.key)
+		p.evictions.Add(1)
+		if v.prefetched {
+			p.raWasted.Add(1)
+		}
+	}
+}
+
+// victim returns the least-recently-used unpinned frame of l, nil if all
+// are pinned (or the list is empty).
+func victim(l *list) *frame {
+	for f := l.head; f != nil; f = f.next {
+		if f.pins == 0 {
+			return f
+		}
+	}
+	return nil
+}
+
+// Handle is one registered backing file's view of the pool. It is safe
+// for concurrent use; every session and fork reading the same snapshot
+// file shares one handle (and therefore one copy of every resident
+// page).
+type Handle struct {
+	pool     *Pool
+	id       uint64
+	src      Source
+	rs       RangeSource
+	vec      VectorSource
+	numPages int
+
+	ra struct {
+		sync.Mutex
+		last   int // last page accessed
+		streak int // consecutive sequential accesses
+		next   int // first page not yet scheduled for prefetch
+	}
+
+	// raNext mirrors ra.next so the hit path can skip the ra mutex
+	// entirely while deep inside a scheduled window (see noteAccess).
+	raNext atomic.Int64
+}
+
+// NumPages returns the registered page count.
+func (h *Handle) NumPages() int { return h.numPages }
+
+// Pool returns the pool this handle belongs to.
+func (h *Handle) Pool() *Pool { return h.pool }
+
+// Get returns page's content, from a resident frame or by faulting it
+// in. The returned buffer is the shared resident copy — callers must
+// not mutate it. Concurrent Gets of one page share a single backing
+// read.
+func (h *Handle) Get(page int) ([]byte, error) {
+	if page < 0 || page >= h.numPages {
+		return nil, fmt.Errorf("bufpool: page %d out of range (%d pages)", page, h.numPages)
+	}
+	k := key{h.id, uint32(page)}
+	sh := h.pool.shardFor(k)
+	sh.mu.Lock()
+	if f := sh.frames[k]; f != nil {
+		sh.touchLocked(h.pool, f)
+		buf := f.buf
+		sh.mu.Unlock()
+		h.pool.hits.Add(1)
+		h.noteAccess(page)
+		return buf, nil
+	}
+	sh.mu.Unlock()
+	h.pool.misses.Add(1)
+	buf, err := h.fault(sh, k)
+	if err != nil {
+		return nil, err
+	}
+	h.noteAccess(page)
+	return buf, nil
+}
+
+// GetPage implements storage.PageCache.
+func (h *Handle) GetPage(i int) ([]byte, error) { return h.Get(i) }
+
+// fault reads page k from the backing source, deduplicating concurrent
+// faulters through the shard's in-flight table, and admits the result.
+//
+// When the miss continues an established sequential streak on a
+// RangeSource-backed handle, the fault reads the whole readahead window
+// in ONE positioned read and admits every page of it (batched demand
+// fault). Unlike the asynchronous fetchers this helps even on a single
+// CPU — a cold sequential scan pays one syscall per window instead of
+// one per page — and it cannot fall behind the consumer, because the
+// consumer is the one doing it.
+func (h *Handle) fault(sh *shard, k key) ([]byte, error) {
+	sh.mu.Lock()
+	if f := sh.frames[k]; f != nil { // raced in (another faulter or the prefetcher)
+		sh.touchLocked(h.pool, f)
+		buf := f.buf
+		sh.mu.Unlock()
+		return buf, nil
+	}
+	if c := sh.inflight[k]; c != nil {
+		sh.mu.Unlock()
+		<-c.done
+		return c.buf, c.err
+	}
+	c := &inflight{done: make(chan struct{})}
+	sh.inflight[k] = c
+	sh.mu.Unlock()
+
+	var buf []byte
+	var err error
+	if hi := h.batchSpan(int(k.page)); hi > int(k.page)+1 {
+		buf, err = h.faultRange(k, hi)
+	} else {
+		buf = make([]byte, h.pool.pageSize)
+		err = h.src.ReadPage(int(k.page), buf)
+	}
+
+	sh.mu.Lock()
+	delete(sh.inflight, k)
+	if err == nil {
+		if f := sh.frames[k]; f == nil {
+			sh.admitLocked(h.pool, k, buf, false)
+		} else {
+			buf = f.buf // a prefetch admitted it while we read; share its frame
+		}
+	}
+	sh.mu.Unlock()
+	c.buf, c.err = buf, err
+	close(c.done)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// batchSpan decides whether the miss on page should fault a whole window:
+// it returns the half-open end of the span to read (page+1 — i.e. no
+// batching — unless the handle has a RangeSource, readahead is on, and
+// this access continues a sequential streak past the threshold). The span
+// is clipped at the file end and at the first already-resident page, and
+// ra.next advances past it so the async scheduler doesn't re-request the
+// same pages.
+func (h *Handle) batchSpan(page int) int {
+	p := h.pool
+	if (h.rs == nil && h.vec == nil) || p.readahead <= 0 {
+		return page + 1
+	}
+	hi := page + 1
+	h.ra.Lock()
+	if page == h.ra.last+1 && h.ra.streak+1 >= seqThreshold {
+		hi = page + p.readahead
+		if hi > h.numPages {
+			hi = h.numPages
+		}
+		if h.ra.next < hi {
+			h.ra.next = hi
+			h.raNext.Store(int64(hi))
+		}
+	}
+	h.ra.Unlock()
+	// Clip the span at resident pages, probing at a coarse stride: on a
+	// cold scan (nothing resident — the common case) this costs a few
+	// shard locks per window instead of one per page; on a half-warm
+	// pool a hit at a probe point narrows to a fine scan, bounding read
+	// amplification to one stride's worth of already-resident pages.
+	const probeStride = 8
+	for j := page + probeStride; j < hi; j += probeStride {
+		if h.resident(j) {
+			for f := j - probeStride + 1; f <= j; f++ {
+				if h.resident(f) {
+					return f
+				}
+			}
+		}
+	}
+	return hi
+}
+
+// faultRange reads pages [k.page, hi) with one positioned read, admits
+// the tail pages as prefetched, and returns the demand page's buffer for
+// the caller (who holds the in-flight slot for it) to admit normally.
+// With a VectorSource the pages scatter straight into their frames; the
+// RangeSource fallback stages through recycled scratch and copies out.
+func (h *Handle) faultRange(k key, hi int) ([]byte, error) {
+	p := h.pool
+	n := hi - int(k.page)
+	if h.vec != nil {
+		frames := make([][]byte, n)
+		for i := range frames {
+			frames[i] = make([]byte, p.pageSize)
+		}
+		if err := h.vec.ReadPageVec(int(k.page), frames); err == nil {
+			for i := 1; i < n; i++ {
+				p.admitPrefetchedOwned(h, int(k.page)+i, frames[i])
+			}
+			return frames[0], nil
+		}
+		// Fall through to the staged path (and ultimately the single-page
+		// path) rather than failing the demand read on a vec error.
+	}
+	sp := p.rangeScratch.Get().(*[]byte)
+	defer p.rangeScratch.Put(sp)
+	big := (*sp)[:n*p.pageSize]
+	if err := h.rs.ReadPageRange(int(k.page), big); err != nil {
+		// Fall back to the single-page path: the range may fail (short
+		// file tail) where the demand page alone would not.
+		buf := make([]byte, p.pageSize)
+		return buf, h.src.ReadPage(int(k.page), buf)
+	}
+	for i := 1; i < n; i++ {
+		p.admitPrefetched(h, int(k.page)+i, big[i*p.pageSize:(i+1)*p.pageSize])
+	}
+	buf := make([]byte, p.pageSize)
+	copy(buf, big[:p.pageSize])
+	return buf, nil
+}
+
+// Pin returns page's content and exempts its frame from eviction until
+// a matching Unpin. Pins nest (refcounted). Use it for a working set
+// that must stay resident under pressure — e.g. the WAL-replay page set
+// during a chain boot.
+func (h *Handle) Pin(page int) ([]byte, error) {
+	k := key{h.id, uint32(page)}
+	sh := h.pool.shardFor(k)
+	for {
+		sh.mu.Lock()
+		if f := sh.frames[k]; f != nil {
+			f.pins++
+			sh.touchLocked(h.pool, f)
+			buf := f.buf
+			sh.mu.Unlock()
+			return buf, nil
+		}
+		sh.mu.Unlock()
+		if _, err := h.Get(page); err != nil {
+			return nil, err
+		}
+		// Loop: the freshly admitted frame could in principle be evicted
+		// between Get and re-lock; the retry pins it before that window
+		// can recur.
+	}
+}
+
+// Unpin releases one Pin of page. Unpinning a non-resident or unpinned
+// page is a no-op (the frame may have been evicted while pinned count
+// was zero — never while it was held).
+func (h *Handle) Unpin(page int) {
+	k := key{h.id, uint32(page)}
+	sh := h.pool.shardFor(k)
+	sh.mu.Lock()
+	if f := sh.frames[k]; f != nil && f.pins > 0 {
+		f.pins--
+	}
+	sh.mu.Unlock()
+}
+
+// resident reports whether page is resident, without touching recency.
+func (h *Handle) resident(page int) bool {
+	k := key{h.id, uint32(page)}
+	sh := h.pool.shardFor(k)
+	sh.mu.Lock()
+	_, ok := sh.frames[k]
+	sh.mu.Unlock()
+	return ok
+}

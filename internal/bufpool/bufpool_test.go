@@ -1,0 +1,466 @@
+package bufpool
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSource serves deterministic page content and counts backing reads.
+type fakeSource struct {
+	pages int
+	reads atomic.Int64
+	fail  int32 // page that errors, -1 for none
+}
+
+func newFakeSource(pages int) *fakeSource { return &fakeSource{pages: pages, fail: -1} }
+
+func fill(dst []byte, page int) {
+	binary.LittleEndian.PutUint64(dst, uint64(page)*0x1234567+1)
+	for i := 8; i < len(dst); i++ {
+		dst[i] = byte(page + i)
+	}
+}
+
+func (s *fakeSource) ReadPage(i int, dst []byte) error {
+	if int32(i) == s.fail {
+		return fmt.Errorf("fake: page %d failed", i)
+	}
+	s.reads.Add(1)
+	fill(dst, i)
+	return nil
+}
+
+// rangeSource adds the batched-read capability.
+type rangeSource struct {
+	fakeSource
+	rangeReads atomic.Int64
+}
+
+func newRangeSource(pages int) *rangeSource {
+	return &rangeSource{fakeSource: fakeSource{pages: pages, fail: -1}}
+}
+
+func (s *rangeSource) ReadPageRange(lo int, dst []byte) error {
+	s.rangeReads.Add(1)
+	const ps = 4096
+	for i := 0; i*ps < len(dst); i++ {
+		fill(dst[i*ps:(i+1)*ps], lo+i)
+	}
+	return nil
+}
+
+func wantPage(t *testing.T, buf []byte, page int) {
+	t.Helper()
+	want := make([]byte, len(buf))
+	fill(want, page)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("page %d content mismatch", page)
+	}
+}
+
+func TestGetHitMiss(t *testing.T) {
+	src := newFakeSource(10)
+	p := New(0, 4096, 0)
+	h := p.Register(src, 10)
+	for i := 0; i < 10; i++ {
+		buf, err := h.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPage(t, buf, i)
+	}
+	if got := src.reads.Load(); got != 10 {
+		t.Fatalf("backing reads = %d, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := h.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.reads.Load(); got != 10 {
+		t.Fatalf("warm re-read hit backing store: reads = %d, want 10", got)
+	}
+	st := p.Stats()
+	if st.Hits != 10 || st.Misses != 10 || st.ResidentPages != 10 {
+		t.Fatalf("stats = %+v, want 10 hits / 10 misses / 10 resident", st)
+	}
+	if _, err := h.Get(10); err == nil {
+		t.Fatal("out-of-range Get succeeded")
+	}
+	if _, err := h.Get(-1); err == nil {
+		t.Fatal("negative Get succeeded")
+	}
+}
+
+func TestReadError(t *testing.T) {
+	src := newFakeSource(4)
+	src.fail = 2
+	p := New(0, 4096, 0)
+	h := p.Register(src, 4)
+	if _, err := h.Get(2); err == nil {
+		t.Fatal("Get of failing page succeeded")
+	}
+	if st := p.Stats(); st.ResidentPages != 0 {
+		t.Fatalf("failed read left %d resident frames", st.ResidentPages)
+	}
+	src.fail = -1
+	buf, err := h.Get(2)
+	if err != nil {
+		t.Fatalf("Get after transient error: %v", err)
+	}
+	wantPage(t, buf, 2)
+}
+
+// TestScanResistance pins the 2Q property the pool exists for: a hot set
+// touched twice survives a cold sequential sweep much larger than the
+// pool.
+func TestScanResistance(t *testing.T) {
+	const numPages = 4096
+	src := newFakeSource(numPages)
+	// 16 shards × minShardFrames(8) = 128 frames minimum pool.
+	p := New(128*4096, 4096, 0)
+	h := p.Register(src, numPages)
+
+	// Establish a hot set: touch twice so every page reaches protected.
+	hot := []int{0, 7, 19, 100, 256, 511}
+	for pass := 0; pass < 2; pass++ {
+		for _, pg := range hot {
+			if _, err := h.Get(pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Cold streaming sweep over everything else, once each.
+	for pg := 600; pg < numPages; pg++ {
+		if _, err := h.Get(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads := src.reads.Load()
+	for _, pg := range hot {
+		if _, err := h.Get(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.reads.Load(); got != reads {
+		t.Fatalf("cold sweep evicted %d hot pages (plain LRU would evict all)", got-reads)
+	}
+	if st := p.Stats(); st.Evictions == 0 {
+		t.Fatal("sweep caused no evictions — pool not under pressure, test is vacuous")
+	}
+}
+
+func TestPinSurvivesPressure(t *testing.T) {
+	const numPages = 2048
+	src := newFakeSource(numPages)
+	p := New(128*4096, 4096, 0)
+	h := p.Register(src, numPages)
+
+	pinned := []int{3, 42, 999}
+	for _, pg := range pinned {
+		buf, err := h.Pin(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPage(t, buf, pg)
+	}
+	for pg := 1000; pg < numPages; pg++ {
+		if _, err := h.Get(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads := src.reads.Load()
+	for _, pg := range pinned {
+		if _, err := h.Get(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.reads.Load(); got != reads {
+		t.Fatalf("pressure evicted %d pinned pages", got-reads)
+	}
+	for _, pg := range pinned {
+		h.Unpin(pg)
+	}
+	// Unpinning an unpinned or absent page must be harmless.
+	h.Unpin(3)
+	h.Unpin(numPages - 1)
+}
+
+func TestCapacityBounded(t *testing.T) {
+	const numPages = 8192
+	src := newFakeSource(numPages)
+	p := New(128*4096, 4096, 0)
+	h := p.Register(src, numPages)
+	for pg := 0; pg < numPages; pg++ {
+		if _, err := h.Get(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.CapacityPages == 0 {
+		t.Fatal("bounded pool reports unbounded capacity")
+	}
+	if st.ResidentPages > st.CapacityPages {
+		t.Fatalf("resident %d exceeds capacity %d", st.ResidentPages, st.CapacityPages)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("full sweep over 64× capacity caused no evictions")
+	}
+}
+
+func TestReadaheadSequential(t *testing.T) {
+	const numPages = 1024
+	src := newRangeSource(numPages)
+	p := New(0, 4096, 32)
+	defer p.Close()
+	h := p.Register(src, numPages)
+
+	// Walk far enough to establish a streak (threshold 4). The miss that
+	// completes the streak faults its whole window in one range read
+	// (batched demand fault), so [3, 35) is resident synchronously —
+	// deterministic at any GOMAXPROCS, no polling for background work.
+	for pg := 0; pg <= 7; pg++ {
+		buf, err := h.Get(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPage(t, buf, pg)
+	}
+	if !h.resident(20) || !h.resident(34) {
+		t.Fatal("batched demand fault did not land the readahead window")
+	}
+	st := p.Stats()
+	if st.ReadaheadIssued == 0 {
+		t.Fatal("sequential scan triggered no readahead")
+	}
+	if src.rangeReads.Load() == 0 {
+		t.Fatal("RangeSource capability unused")
+	}
+	// Resume the scan: the prefetched window must serve as pool hits.
+	for pg := 8; pg < 35; pg++ {
+		buf, err := h.Get(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPage(t, buf, pg)
+	}
+	st = p.Stats()
+	if st.ReadaheadUsed == 0 {
+		t.Fatal("no prefetched page was consumed")
+	}
+	if st.Hits == 0 {
+		t.Fatal("scan with readahead produced zero pool hits")
+	}
+	// Finish the file to exercise the re-arm path end to end.
+	for pg := 35; pg < numPages; pg++ {
+		buf, err := h.Get(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPage(t, buf, pg)
+	}
+	if st := p.Stats(); st.Misses >= numPages/4 {
+		t.Fatalf("sequential scan with readahead still missed %d of %d pages", st.Misses, numPages)
+	}
+}
+
+// TestReadaheadAsync pins GOMAXPROCS above one so noteAccess schedules
+// the background fetchers (on a single CPU it relies on the batched
+// demand fault alone) and checks they land pages ahead of the cursor.
+func TestReadaheadAsync(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	const numPages = 4096
+	src := newRangeSource(numPages)
+	p := New(0, 4096, 32)
+	defer p.Close()
+	h := p.Register(src, numPages)
+	for pg := 0; pg < numPages; pg++ {
+		buf, err := h.Get(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPage(t, buf, pg)
+	}
+	st := p.Stats()
+	if st.ReadaheadIssued == 0 {
+		t.Fatal("async scan triggered no readahead")
+	}
+	if st.ReadaheadUsed == 0 {
+		t.Fatal("no prefetched page was consumed")
+	}
+	if st.Misses >= numPages/4 {
+		t.Fatalf("scan with async readahead still missed %d of %d pages", st.Misses, numPages)
+	}
+}
+
+func TestReadaheadDisabled(t *testing.T) {
+	src := newRangeSource(256)
+	p := New(0, 4096, 0)
+	h := p.Register(src, 256)
+	for pg := 0; pg < 256; pg++ {
+		if _, err := h.Get(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if st := p.Stats(); st.ReadaheadIssued != 0 {
+		t.Fatalf("readahead=0 still prefetched %d pages", st.ReadaheadIssued)
+	}
+}
+
+func TestRandomAccessNoReadahead(t *testing.T) {
+	src := newRangeSource(1024)
+	p := New(0, 4096, 32)
+	defer p.Close()
+	h := p.Register(src, 1024)
+	// Strided access never forms a streak of seqThreshold.
+	for i := 0; i < 300; i++ {
+		if _, err := h.Get((i * 37) % 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if st := p.Stats(); st.ReadaheadIssued != 0 {
+		t.Fatalf("random access triggered %d prefetches", st.ReadaheadIssued)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	src := newRangeSource(512)
+	p := New(0, 4096, 0)
+	defer p.Close()
+	h := p.Register(src, 512)
+	pages := []int{1, 2, 3, 4, 10, 11, 12, 100}
+	h.Warm(pages)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, pg := range pages {
+			if !h.resident(pg) {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	reads := src.reads.Load() + src.rangeReads.Load()
+	for _, pg := range pages {
+		buf, err := h.Get(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPage(t, buf, pg)
+	}
+	if got := src.reads.Load() + src.rangeReads.Load(); got != reads {
+		t.Fatalf("warmed pages still faulted: %d extra backing reads", got-reads)
+	}
+}
+
+// TestConcurrentSharedHandle hammers one handle from many goroutines
+// mixing scans and point reads; run under -race this is the pool's core
+// concurrency oracle.
+func TestConcurrentSharedHandle(t *testing.T) {
+	const numPages = 2048
+	src := newRangeSource(numPages)
+	p := New(256*4096, 4096, 16)
+	defer p.Close()
+	h := p.Register(src, numPages)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 { // scanner
+				for pg := 0; pg < numPages; pg++ {
+					buf, err := h.Get(pg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if binary.LittleEndian.Uint64(buf) != uint64(pg)*0x1234567+1 {
+						errs <- fmt.Errorf("goroutine %d: page %d corrupt", g, pg)
+						return
+					}
+				}
+			} else { // point reader
+				for i := 0; i < numPages; i++ {
+					pg := (i*131 + g*17) % numPages
+					buf, err := h.Get(pg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if binary.LittleEndian.Uint64(buf) != uint64(pg)*0x1234567+1 {
+						errs <- fmt.Errorf("goroutine %d: page %d corrupt", g, pg)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentFaultDedupe verifies concurrent cold faults of the same
+// page share one backing read.
+func TestConcurrentFaultDedupe(t *testing.T) {
+	src := newFakeSource(1)
+	p := New(0, 4096, 0)
+	h := p.Register(src, 1)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := h.Get(0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := src.reads.Load(); got != 1 {
+		t.Fatalf("32 concurrent faulters issued %d backing reads, want 1", got)
+	}
+}
+
+func TestSetupActive(t *testing.T) {
+	t.Cleanup(func() { Setup(DefaultCapacityMB, DefaultReadahead) })
+	Setup(8, 4)
+	p := Active()
+	if p == nil {
+		t.Fatal("Active returned nil after Setup(8, 4)")
+	}
+	if p.Readahead() != 4 {
+		t.Fatalf("readahead = %d, want 4", p.Readahead())
+	}
+	if st := p.Stats(); st.CapacityPages == 0 {
+		t.Fatal("8MB pool reports unbounded")
+	}
+	Setup(0, 0)
+	if Active() != nil {
+		t.Fatal("Active returned a pool after Setup(0, 0) disabled it")
+	}
+	Setup(16, 8)
+	if Active() == nil {
+		t.Fatal("re-enable after disable failed")
+	}
+}

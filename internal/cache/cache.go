@@ -33,20 +33,34 @@ func NewServer(disk *storage.Disk, meter *sim.Meter, capacityBytes int64) *Serve
 }
 
 // Read implements storage.Pager: a hit is free, a miss reads from disk.
+// The returned buffer is always the canonical storage-layer copy; on a
+// hit it is re-fetched meter-free (the entries are bufferless — see the
+// package comment), which on a pool-backed base may transparently
+// re-fault an evicted page at real-I/O cost only.
 func (s *Server) Read(id storage.PageID) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e := s.lru.get(id); e != nil {
 		s.meter.ServerHit()
-		return e.buf, nil
+		return s.disk.Read(id)
 	}
 	buf, err := s.disk.Read(id)
 	if err != nil {
 		return nil, err
 	}
 	s.meter.DiskRead()
-	s.admit(id, buf, false)
+	s.admit(id, false)
 	return buf, nil
+}
+
+// Buffer returns page id's canonical buffer without charging the meter
+// or touching recency — the data path behind a simulated *client* hit,
+// where the traffic model says nothing moved but the caller still needs
+// the bytes.
+func (s *Server) Buffer(id storage.PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.disk.Read(id)
 }
 
 // Write implements storage.Pager: marks the page dirty in the cache.
@@ -59,11 +73,10 @@ func (s *Server) Write(id storage.PageID) error {
 	}
 	// Page not resident (e.g. handed straight down from a client
 	// eviction): pull it in dirty.
-	buf, err := s.disk.Read(id)
-	if err != nil {
+	if _, err := s.disk.Read(id); err != nil {
 		return err
 	}
-	s.admit(id, buf, true)
+	s.admit(id, true)
 	return nil
 }
 
@@ -75,12 +88,12 @@ func (s *Server) Alloc() (storage.PageID, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	s.admit(id, buf, true)
+	s.admit(id, true)
 	return id, buf, nil
 }
 
-func (s *Server) admit(id storage.PageID, buf []byte, dirty bool) {
-	if evicted := s.lru.put(id, buf, dirty); evicted != nil && evicted.dirty {
+func (s *Server) admit(id storage.PageID, dirty bool) {
+	if evicted := s.lru.put(id, dirty); evicted != nil && evicted.dirty {
 		s.meter.DiskWrite()
 	}
 }
@@ -165,12 +178,11 @@ func (c *Client) Prefetch(ids []storage.PageID) {
 		if c.lru.peek(id) != nil {
 			continue
 		}
-		buf, err := c.server.Read(id)
-		if err != nil {
+		if _, err := c.server.Read(id); err != nil {
 			continue
 		}
 		c.meter.ServerToClient()
-		c.admit(id, buf, false)
+		c.admit(id, false)
 		fetched++
 	}
 	if fetched > 0 {
@@ -184,11 +196,13 @@ func (c *Client) Prefetch(ids []storage.PageID) {
 // pays for the page I/O (the index.CostSource hook).
 func (c *Client) Costs() *sim.Meter { return c.meter }
 
-// Read implements storage.Pager.
+// Read implements storage.Pager. Like the server, a hit returns the
+// canonical storage-layer buffer fetched meter-free; only the simulated
+// traffic differs between hit and miss.
 func (c *Client) Read(id storage.PageID) ([]byte, error) {
 	if e := c.lru.get(id); e != nil {
 		c.meter.ClientHit()
-		return e.buf, nil
+		return c.server.Buffer(id)
 	}
 	c.meter.ClientFault()
 	c.meter.RPC(storage.PageSize)
@@ -197,7 +211,7 @@ func (c *Client) Read(id storage.PageID) ([]byte, error) {
 		return nil, err
 	}
 	c.meter.ServerToClient()
-	c.admit(id, buf, false)
+	c.admit(id, false)
 	return buf, nil
 }
 
@@ -223,12 +237,12 @@ func (c *Client) Alloc() (storage.PageID, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	c.admit(id, buf, true)
+	c.admit(id, true)
 	return id, buf, nil
 }
 
-func (c *Client) admit(id storage.PageID, buf []byte, dirty bool) {
-	if evicted := c.lru.put(id, buf, dirty); evicted != nil && evicted.dirty {
+func (c *Client) admit(id storage.PageID, dirty bool) {
+	if evicted := c.lru.put(id, dirty); evicted != nil && evicted.dirty {
 		c.writeBack(evicted)
 	}
 }

@@ -144,10 +144,10 @@ func TestDataSurvivesEvictionChurn(t *testing.T) {
 
 func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 	l := newLRU(2)
-	l.put(1, nil, false)
-	l.put(2, nil, false)
+	l.put(1, false)
+	l.put(2, false)
 	l.get(1) // 2 is now LRU
-	if ev := l.put(3, nil, false); ev == nil || ev.id != 2 {
+	if ev := l.put(3, false); ev == nil || ev.id != 2 {
 		t.Fatalf("evicted %v, want page 2", ev)
 	}
 	if l.peek(1) == nil || l.peek(3) == nil || l.peek(2) != nil {
@@ -157,9 +157,9 @@ func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 
 func TestLRUDrainOrder(t *testing.T) {
 	l := newLRU(3)
-	l.put(1, nil, false)
-	l.put(2, nil, false)
-	l.put(3, nil, false)
+	l.put(1, false)
+	l.put(2, false)
+	l.put(3, false)
 	l.get(1)
 	got := l.drain()
 	if len(got) != 3 || got[0].id != 2 || got[1].id != 3 || got[2].id != 1 {

@@ -3,11 +3,17 @@
 // server, talking over a metered RPC boundary (§2 runs both on one
 // machine, so an RPC is cheap but counted).
 //
-// The caches simulate traffic, not buffer copies: entries alias the disk's
-// page buffers, and the meter records the events the paper's Figure 3
-// schema reports (client faults, RPC count and volume, server-to-client and
-// disk-to-server page movements, miss rates). Eviction of a dirty page
-// charges the write path below it.
+// The caches simulate traffic, not buffer copies: the meter records the
+// events the paper's Figure 3 schema reports (client faults, RPC count
+// and volume, server-to-client and disk-to-server page movements, miss
+// rates). Entries hold no buffers at all — they are pure
+// residency/recency bookkeeping; a hit re-fetches the canonical buffer
+// from the storage layer below, meter-free. Keeping the entries
+// bufferless is what lets the process-wide buffer pool (internal/bufpool)
+// actually bound RSS: if every session's simulated LRU aliased page
+// buffers, an evicted pool frame would stay referenced and the GC could
+// never reclaim it. Eviction of a dirty page charges the write path
+// below it.
 package cache
 
 import "treebench/internal/storage"
@@ -15,7 +21,6 @@ import "treebench/internal/storage"
 // lruEntry is one cached page: the unit the two page caches move around.
 type lruEntry struct {
 	id    storage.PageID
-	buf   []byte
 	dirty bool
 }
 
@@ -45,14 +50,13 @@ func (l *lru) peek(id storage.PageID) *lruEntry {
 
 // put inserts a page, evicting the LRU entry if needed. The evicted entry
 // (nil if none) is returned so the caller can propagate dirty data down.
-func (l *lru) put(id storage.PageID, buf []byte, dirty bool) (evicted *lruEntry) {
+func (l *lru) put(id storage.PageID, dirty bool) (evicted *lruEntry) {
 	if e, ok := l.m.Peek(id); ok {
-		e.buf = buf
 		e.dirty = e.dirty || dirty
 		l.m.Get(id) // touch recency
 		return nil
 	}
-	_, evicted, _ = l.m.Put(id, &lruEntry{id: id, buf: buf, dirty: dirty})
+	_, evicted, _ = l.m.Put(id, &lruEntry{id: id, dirty: dirty})
 	return evicted
 }
 

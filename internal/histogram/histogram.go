@@ -28,10 +28,12 @@ type Histogram struct {
 }
 
 // Build constructs a histogram with up to buckets buckets from keys. The
-// slice is sorted in place. Nil is returned for an empty input.
+// slice is sorted in place. An empty input yields a well-defined empty
+// histogram — zero buckets, zero total, zero Min/Max — not nil, so
+// callers may chain accessors without a guard.
 func Build(keys []int64, buckets int) *Histogram {
 	if len(keys) == 0 {
-		return nil
+		return &Histogram{}
 	}
 	if buckets < 1 {
 		buckets = 1
@@ -67,14 +69,36 @@ func Build(keys []int64, buckets int) *Histogram {
 }
 
 // Buckets returns the number of buckets.
-func (h *Histogram) Buckets() int { return len(h.buckets) }
+func (h *Histogram) Buckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.buckets)
+}
 
 // Total returns the number of keys summarized.
-func (h *Histogram) Total() int64 { return h.total }
+func (h *Histogram) Total() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
 
-// Min and Max return the key range covered.
-func (h *Histogram) Min() int64 { return h.buckets[0].lo }
-func (h *Histogram) Max() int64 { return h.buckets[len(h.buckets)-1].hi - 1 }
+// Min and Max return the key range covered; zero when the histogram is
+// nil or summarizes no keys.
+func (h *Histogram) Min() int64 {
+	if h == nil || len(h.buckets) == 0 {
+		return 0
+	}
+	return h.buckets[0].lo
+}
+
+func (h *Histogram) Max() int64 {
+	if h == nil || len(h.buckets) == 0 {
+		return 0
+	}
+	return h.buckets[len(h.buckets)-1].hi - 1
+}
 
 // EstimateRange estimates how many keys fall in [lo, hi), interpolating
 // uniformly within partially covered buckets.
@@ -105,8 +129,12 @@ func (h *Histogram) Selectivity(lo, hi int64) float64 {
 	return s
 }
 
-// String renders the buckets for diagnostics.
+// String renders the buckets for diagnostics; empty for a nil or empty
+// histogram.
 func (h *Histogram) String() string {
+	if h == nil {
+		return ""
+	}
 	var sb strings.Builder
 	for i, b := range h.buckets {
 		if i > 0 {

@@ -71,8 +71,8 @@ func TestDuplicateRunsNotSplit(t *testing.T) {
 }
 
 func TestDegenerateInputs(t *testing.T) {
-	if Build(nil, 8) != nil {
-		t.Fatal("empty input should give nil")
+	if h0 := Build(nil, 8); h0 == nil || h0.Buckets() != 0 {
+		t.Fatalf("empty input should give an empty histogram, got %v", h0)
 	}
 	var nilH *Histogram
 	if nilH.Selectivity(0, 10) != 0 || nilH.EstimateRange(0, 10) != 0 {
@@ -116,5 +116,51 @@ func TestEstimateProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndNilHistogram(t *testing.T) {
+	// An empty key slice must yield a usable empty histogram, not a nil
+	// whose accessors panic.
+	h := Build(nil, 8)
+	if h == nil {
+		t.Fatal("Build(nil) returned nil, want empty histogram")
+	}
+	if h.Buckets() != 0 || h.Total() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram: buckets=%d total=%d min=%d max=%d",
+			h.Buckets(), h.Total(), h.Min(), h.Max())
+	}
+	if s := h.String(); s != "" {
+		t.Fatalf("empty histogram String() = %q", s)
+	}
+	if got := h.EstimateRange(0, 100); got != 0 {
+		t.Fatalf("empty EstimateRange = %v", got)
+	}
+	if got := h.Selectivity(0, 100); got != 0 {
+		t.Fatalf("empty Selectivity = %v", got)
+	}
+	if h2 := Build([]int64{}, 0); h2 == nil || h2.Buckets() != 0 {
+		t.Fatalf("Build(empty, 0) = %v", h2)
+	}
+
+	// Accessors are defined on a nil receiver too — old callers that kept
+	// the nil-means-absent convention must not crash.
+	var hn *Histogram
+	if hn.Buckets() != 0 || hn.Total() != 0 || hn.Min() != 0 || hn.Max() != 0 {
+		t.Fatal("nil receiver accessors not zero")
+	}
+	if hn.String() != "" || hn.EstimateRange(0, 10) != 0 || hn.Selectivity(0, 10) != 0 {
+		t.Fatal("nil receiver estimators not zero")
+	}
+}
+
+func TestSingleKeyHistogram(t *testing.T) {
+	h := Build([]int64{42}, 8)
+	if h.Buckets() != 1 || h.Total() != 1 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("single-key: buckets=%d total=%d min=%d max=%d",
+			h.Buckets(), h.Total(), h.Min(), h.Max())
+	}
+	if got := h.Selectivity(42, 43); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("sel[42,43) = %v, want 1", got)
 	}
 }

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package persist
+
+import (
+	"errors"
+	"os"
+)
+
+// Direct I/O is a Linux-only measurement aid; elsewhere Load quietly
+// keeps the buffered handle and these are never reached with
+// fileSource.direct set.
+var errDirectUnsupported = errors.New("persist: direct I/O unsupported on this platform")
+
+func openDirect(path string) (*os.File, error) {
+	return nil, errDirectUnsupported
+}
+
+func (s *fileSource) directRead(dst []byte, off int64) error {
+	return errDirectUnsupported
+}

@@ -7,30 +7,85 @@ import (
 	"io"
 	"os"
 
+	"treebench/internal/bufpool"
 	"treebench/internal/derby"
 	"treebench/internal/engine"
 	"treebench/internal/storage"
 )
 
-// fileSource streams pages out of a snapshot file on demand. It is the
-// storage.PageSource a loaded snapshot's Base faults through: the first
-// touch of a page issues one positioned read, after which the Base caches
-// it for the snapshot's lifetime. The file handle lives as long as the
-// snapshot (the OS reclaims it at exit; snapshots have no close
+// fileSource streams pages out of a snapshot file on demand. It is both
+// the storage.PageSource a legacy lazy Base faults through and the
+// bufpool.RangeSource the shared buffer pool prefetches from: one page
+// per positioned read on the demand path, a whole readahead window per
+// positioned read on the prefetch path. The file handle lives as long as
+// the snapshot (the OS reclaims it at exit; snapshots have no close
 // protocol, matching every other shareable object in the system).
 type fileSource struct {
 	f        *os.File
 	firstOff int64 // offset of the first raw page
 	numPages int
+	direct   bool // f was opened O_DIRECT; reads stage through aligned scratch
+}
+
+// DirectIOEnvVar, when set to 1/true, makes Load open the snapshot's
+// page source with O_DIRECT (Linux; silently ignored where unsupported,
+// e.g. other platforms or tmpfs). Reads then bypass the OS page cache —
+// every buffer-pool miss is a true device read. This is a measurement
+// mode: scripts/bench_cache.sh uses it so "cold" means cold storage,
+// not cold pool over a warm page cache.
+const DirectIOEnvVar = "TREEBENCH_DIRECT_IO"
+
+func directIORequested() bool {
+	v := os.Getenv(DirectIOEnvVar)
+	return v == "1" || v == "true" || v == "yes"
+}
+
+// DirectIOSupported reports whether path accepts O_DIRECT reads on this
+// platform and filesystem. Benchmark drivers use it to report whether a
+// requested direct-I/O run actually measured the device — gates that
+// assume cold storage are meaningless over a warm OS page cache.
+func DirectIOSupported(path string) bool {
+	f, err := openDirect(path)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
 }
 
 func (s *fileSource) ReadPage(i int, dst []byte) error {
 	if i < 0 || i >= s.numPages {
 		return fmt.Errorf("persist: page %d out of range (%d pages)", i, s.numPages)
 	}
-	_, err := s.f.ReadAt(dst, s.firstOff+int64(i)*storage.PageSize)
+	off := s.firstOff + int64(i)*storage.PageSize
+	var err error
+	if s.direct {
+		err = s.directRead(dst, off)
+	} else {
+		_, err = s.f.ReadAt(dst, off)
+	}
 	if err != nil {
 		return fmt.Errorf("persist: reading page %d: %w", i, err)
+	}
+	return nil
+}
+
+// ReadPageRange implements bufpool.RangeSource: one positioned read
+// covering len(dst)/PageSize consecutive pages starting at lo.
+func (s *fileSource) ReadPageRange(lo int, dst []byte) error {
+	n := len(dst) / storage.PageSize
+	if lo < 0 || n < 1 || lo+n > s.numPages {
+		return fmt.Errorf("persist: page range [%d,%d) out of range (%d pages)", lo, lo+n, s.numPages)
+	}
+	off := s.firstOff + int64(lo)*storage.PageSize
+	var err error
+	if s.direct {
+		err = s.directRead(dst[:n*storage.PageSize], off)
+	} else {
+		_, err = s.f.ReadAt(dst[:n*storage.PageSize], off)
+	}
+	if err != nil {
+		return fmt.Errorf("persist: reading pages [%d,%d): %w", lo, lo+n, err)
 	}
 	return nil
 }
@@ -46,22 +101,30 @@ func (s *fileSource) ReadPage(i int, dst []byte) error {
 // *ChecksumError naming the corrupt section. Load never panics on a
 // malformed file.
 func Load(path string) (*derby.Snapshot, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	snap, err := load(f)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return snap, nil
+	snap, _, err := loadPath(path)
+	return snap, err
 }
 
-func load(f *os.File) (*derby.Snapshot, error) {
+// loadPath is Load plus the snapshot's buffer-pool handle (nil when the
+// pool is disabled) — ChainStore boot uses the handle to warm the pool
+// with the WAL-replay page set.
+func loadPath(path string) (*derby.Snapshot, *bufpool.Handle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, h, err := load(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return snap, h, nil
+}
+
+func load(f *os.File) (*derby.Snapshot, *bufpool.Handle, error) {
 	table, _, err := readTable(f)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	byID := make(map[uint32]sectionEntry, len(table))
 	for _, e := range table {
@@ -76,80 +139,101 @@ func load(f *os.File) (*derby.Snapshot, error) {
 		if e.id == SectionPages {
 			pagesEntry = e
 			if err := crcStream(f, e); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			continue
 		}
 		body, err := readSection(f, e)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		bodies[e.id] = body
 	}
 
 	// Pages section header: page count and capacity.
 	if pagesEntry.length < 8 {
-		return nil, fmt.Errorf("%w: pages section too short (%d bytes)", ErrFormat, pagesEntry.length)
+		return nil, nil, fmt.Errorf("%w: pages section too short (%d bytes)", ErrFormat, pagesEntry.length)
 	}
 	var ph [8]byte
 	if _, err := f.ReadAt(ph[:], int64(pagesEntry.offset)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	numPages := int(binary.BigEndian.Uint32(ph[0:4]))
 	capPages := int(binary.BigEndian.Uint32(ph[4:8]))
 	if uint64(numPages)*storage.PageSize+8 != pagesEntry.length {
-		return nil, fmt.Errorf("%w: pages section is %d bytes for %d pages",
+		return nil, nil, fmt.Errorf("%w: pages section is %d bytes for %d pages",
 			ErrFormat, pagesEntry.length, numPages)
 	}
 	if capPages != 0 && capPages < numPages {
-		return nil, fmt.Errorf("%w: capacity %d pages below image size %d",
+		return nil, nil, fmt.Errorf("%w: capacity %d pages below image size %d",
 			ErrFormat, capPages, numPages)
 	}
 
 	// Decode the catalog sections into one state tree.
 	est := &engine.SnapshotState{}
 	if err := decodeMeta(bodies[SectionMeta], est); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if est.Files, err = decodeCatalog(bodies[SectionCatalog]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if est.Classes, err = decodeRegistry(bodies[SectionRegistry]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := decodeExtents(bodies[SectionExtents], est); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := decodeTrees(bodies[SectionTrees], est); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := decodeHistograms(bodies[SectionHistograms], est); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := decodeBackends(bodies[SectionBackends], est); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dst, err := decodeDerby(bodies[SectionDerby])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dst.Engine = est
 	ln, err := decodeLineage(bodies[SectionLineage])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	base := storage.NewLazyBase(numPages, int64(capPages)*storage.PageSize, &fileSource{
+	// Page image: route reads through the process-wide buffer pool when
+	// it is enabled (bounded residency, shared frames, readahead); fall
+	// back to the legacy unbounded per-base cells otherwise.
+	src := &fileSource{
 		f:        f,
 		firstOff: int64(pagesEntry.offset) + 8,
 		numPages: numPages,
-	})
+	}
+	if directIORequested() {
+		// Reopen just the page source O_DIRECT (catalog and checksums were
+		// already read buffered above). Failure — unsupported platform or
+		// filesystem — quietly keeps the buffered handle.
+		if df, derr := openDirect(f.Name()); derr == nil {
+			src.f = df
+			src.direct = true
+		}
+	}
+	capBytes := int64(capPages) * storage.PageSize
+	var base *storage.Base
+	var h *bufpool.Handle
+	if p := bufpool.Active(); p != nil && p.PageSize() == storage.PageSize {
+		h = p.Register(src, numPages)
+		base = storage.NewCachedBase(numPages, capBytes, h)
+	} else {
+		base = storage.NewLazyBase(numPages, capBytes, src)
+	}
 	snap, err := derby.RestoreSnapshot(base, dst)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	snap.Engine.SetLineage(ln.Version, ln.DeltaPages, ln.WalOff)
-	return snap, nil
+	return snap, h, nil
 }
 
 // SectionInfo describes one section for manifests and the snap tool.

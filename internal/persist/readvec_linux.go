@@ -1,0 +1,96 @@
+//go:build linux
+
+package persist
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+
+	"treebench/internal/storage"
+)
+
+// ReadPageVec implements bufpool.VectorSource: one preadv(2) scatters
+// len(bufs) consecutive pages starting at lo into the caller's separate
+// buffers. The buffer pool uses it to read a whole readahead window
+// directly into page frames — a single system call and no staging copy,
+// which is what makes readahead pay off even when the file is already
+// in the OS page cache (the win is syscall and memmove amortization,
+// not disk latency). On other platforms the method simply doesn't
+// exist and the pool falls back to ReadPageRange.
+func (s *fileSource) ReadPageVec(lo int, bufs [][]byte) error {
+	if lo < 0 || lo+len(bufs) > s.numPages {
+		return fmt.Errorf("persist: page range [%d,%d) out of range (%d pages)",
+			lo, lo+len(bufs), s.numPages)
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	if s.direct {
+		return s.directReadVec(lo, bufs)
+	}
+	sc, err := s.f.SyscallConn()
+	if err != nil {
+		return err
+	}
+	iov := make([]syscall.Iovec, len(bufs))
+	for i, b := range bufs {
+		if len(b) == 0 {
+			return fmt.Errorf("persist: preadv: empty buffer at index %d", i)
+		}
+		iov[i].Base = &b[0]
+		iov[i].SetLen(len(b))
+	}
+	off := s.firstOff + int64(lo)*storage.PageSize
+	var rerr error
+	cerr := sc.Read(func(fd uintptr) bool {
+		for len(iov) > 0 {
+			offLo, offHi := offsetSplit(off)
+			n, _, errno := syscall.Syscall6(syscall.SYS_PREADV, fd,
+				uintptr(unsafe.Pointer(&iov[0])), uintptr(len(iov)), offLo, offHi, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno != 0 {
+				rerr = errno
+				return true
+			}
+			if n == 0 {
+				rerr = fmt.Errorf("unexpected EOF")
+				return true
+			}
+			off += int64(n)
+			// Advance the iovec list past the n bytes just read (short
+			// reads are legal; resume at the partial buffer).
+			for n > 0 && len(iov) > 0 {
+				l := uintptr(iov[0].Len)
+				if n >= l {
+					n -= l
+					iov = iov[1:]
+					continue
+				}
+				iov[0].Base = (*byte)(unsafe.Add(unsafe.Pointer(iov[0].Base), n))
+				iov[0].SetLen(int(l - n))
+				n = 0
+			}
+		}
+		return true
+	})
+	if cerr != nil {
+		return cerr
+	}
+	if rerr != nil {
+		return fmt.Errorf("persist: preadv pages [%d,%d): %w", lo, lo+len(bufs), rerr)
+	}
+	return nil
+}
+
+// offsetSplit splits a file offset into the two unsigned-long halves
+// preadv's raw syscall interface wants: the full offset in the low word
+// on 64-bit platforms, a 32/32 split on 32-bit ones.
+func offsetSplit(off int64) (lo, hi uintptr) {
+	if unsafe.Sizeof(uintptr(0)) == 8 {
+		return uintptr(off), 0
+	}
+	return uintptr(uint32(off)), uintptr(uint64(off) >> 32)
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"treebench/internal/bufpool"
 	"treebench/internal/core"
 	"treebench/internal/derby"
 	"treebench/internal/engine"
@@ -351,6 +352,17 @@ func (s *Server) Stats() *wire.Stats {
 		st.WalBytes = int64(cs.Wal.Bytes)
 		st.WalSyncs = int64(cs.Wal.Syncs)
 		st.WalTail = cs.WalTail
+	}
+	if p := bufpool.Active(); p != nil {
+		ps := p.Stats()
+		st.PoolHits = ps.Hits
+		st.PoolMisses = ps.Misses
+		st.PoolEvictions = ps.Evictions
+		st.PoolReadaheadIssued = ps.ReadaheadIssued
+		st.PoolReadaheadUsed = ps.ReadaheadUsed
+		st.PoolReadaheadWasted = ps.ReadaheadWasted
+		st.PoolResidentPages = ps.ResidentPages
+		st.PoolCapacityPages = ps.CapacityPages
 	}
 	return st
 }

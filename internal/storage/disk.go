@@ -41,15 +41,29 @@ type PageSource interface {
 	ReadPage(i int, dst []byte) error
 }
 
+// PageCache serves pages of one backing file from a shared, bounded,
+// possibly-evicting cache. It is how a lazy Base plugs into the
+// process-wide buffer pool (internal/bufpool) without storage knowing
+// about pool mechanics: GetPage returns page i's canonical resident
+// buffer, faulting and evicting as the cache sees fit. The returned
+// buffer must stay immutable for its lifetime — evicting a page may drop
+// the cache's reference, but must never recycle the memory, so aliases
+// held by earlier readers stay valid (Go's GC enforces exactly this).
+type PageCache interface {
+	GetPage(i int) ([]byte, error)
+}
+
 // Base is a frozen, immutable page image: the disk-resident half of a
 // database snapshot. Any number of Disks can be forked from one Base and
 // share its page buffers physically; Base itself has no mutating methods.
 //
-// A Base is either eager (all page buffers resident, the Freeze path) or
-// lazy (pages faulted in one at a time from a PageSource on first access,
-// the snapshot-load path). Forks cannot tell the difference: a faulted
-// page is cached forever, so the shared-buffer discipline holds either
-// way.
+// A Base is eager (all page buffers resident, the Freeze path), lazy
+// (pages faulted in one at a time from a PageSource on first access and
+// cached forever — the legacy snapshot-load path, unbounded RSS), or
+// cached (pages served by a shared PageCache that may evict under
+// pressure — the buffer-pool snapshot-load path). Forks cannot tell the
+// difference: every mode returns immutable canonical buffers, so the
+// shared-buffer discipline holds throughout.
 type Base struct {
 	pages    [][]byte // eager image; nil for a lazy base
 	n        int      // page count
@@ -57,6 +71,8 @@ type Base struct {
 
 	src   PageSource               // lazy page supplier; nil for an eager base
 	cells []atomic.Pointer[[]byte] // lazily faulted pages, indexed by PageID
+
+	pcache PageCache // shared bounded page cache; nil unless pool-backed
 
 	delta *Delta // chained base: a committed delta over delta.parent; nil for a flat base
 }
@@ -77,6 +93,19 @@ func NewBase(pages [][]byte, capacityBytes int64) *Base {
 // capacityBytes of 0 means unbounded.
 func NewLazyBase(numPages int, capacityBytes int64, src PageSource) *Base {
 	b := &Base{n: numPages, src: src, cells: make([]atomic.Pointer[[]byte], numPages)}
+	if capacityBytes > 0 {
+		b.capacity = int(capacityBytes / PageSize)
+	}
+	return b
+}
+
+// NewCachedBase builds a Base of numPages pages served by a shared page
+// cache (the process-wide buffer pool's per-file handle). Unlike a lazy
+// base, resident pages are bounded: the cache may evict cold pages and
+// re-fault them later. capacityBytes of 0 means unbounded simulated
+// capacity (unrelated to the cache's physical budget).
+func NewCachedBase(numPages int, capacityBytes int64, pc PageCache) *Base {
+	b := &Base{n: numPages, pcache: pc}
 	if capacityBytes > 0 {
 		b.capacity = int(capacityBytes / PageSize)
 	}
@@ -108,6 +137,13 @@ func (b *Base) Page(id PageID) ([]byte, error) {
 			return b.delta.appended[int(id)-pn], nil
 		}
 		return b.delta.parent.Page(id)
+	}
+	if b.pcache != nil {
+		buf, err := b.pcache.GetPage(int(id))
+		if err != nil {
+			return nil, fmt.Errorf("storage: page %d: %w", id, err)
+		}
+		return buf, nil
 	}
 	if b.src == nil {
 		return b.pages[id], nil

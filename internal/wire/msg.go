@@ -269,6 +269,19 @@ type Stats struct {
 	BackendSSTablesRead int64
 	BackendCompactions  int64
 	BackendPagesWritten int64
+
+	// Buffer pool (v8): the process-wide shared page pool's counters —
+	// real I/O economics, entirely invisible to the simulated meters.
+	// All zero when the pool is disabled (-bufpool-mb 0) or the snapshot
+	// was generated in memory rather than loaded from a file.
+	PoolHits            int64 // page reads served from resident frames
+	PoolMisses          int64 // page reads that faulted from the file
+	PoolEvictions       int64 // frames dropped under capacity pressure
+	PoolReadaheadIssued int64 // pages prefetched by the readahead pipeline
+	PoolReadaheadUsed   int64 // prefetched pages later consumed
+	PoolReadaheadWasted int64 // prefetched pages evicted unconsumed
+	PoolResidentPages   int64 // frames resident at snapshot time
+	PoolCapacityPages   int64 // frame capacity (0 = unbounded)
 }
 
 func (m *Stats) Encode() []byte {
@@ -286,6 +299,9 @@ func (m *Stats) Encode() []byte {
 		m.WalRecords, m.WalBytes, m.WalSyncs, m.WalTail,
 		m.BackendBloomHits, m.BackendBloomMisses, m.BackendSSTablesRead,
 		m.BackendCompactions, m.BackendPagesWritten,
+		m.PoolHits, m.PoolMisses, m.PoolEvictions,
+		m.PoolReadaheadIssued, m.PoolReadaheadUsed, m.PoolReadaheadWasted,
+		m.PoolResidentPages, m.PoolCapacityPages,
 	} {
 		e.i64(v)
 	}
@@ -314,6 +330,9 @@ func DecodeStats(b []byte) (*Stats, error) {
 		&m.WalRecords, &m.WalBytes, &m.WalSyncs, &m.WalTail,
 		&m.BackendBloomHits, &m.BackendBloomMisses, &m.BackendSSTablesRead,
 		&m.BackendCompactions, &m.BackendPagesWritten,
+		&m.PoolHits, &m.PoolMisses, &m.PoolEvictions,
+		&m.PoolReadaheadIssued, &m.PoolReadaheadUsed, &m.PoolReadaheadWasted,
+		&m.PoolResidentPages, &m.PoolCapacityPages,
 	} {
 		*p = d.i64()
 	}

@@ -32,7 +32,9 @@ import (
 // and CodeReadOnly for commit attempts against a store-less server.
 // v7 added pluggable index backends: Stats.IndexBackend plus the bloom /
 // SSTable / compaction / pages-written backend counters.
-const Version uint32 = 7
+// v8 added the shared buffer pool: Stats.Pool* counters (hits, misses,
+// evictions, readahead issued/used/wasted, resident/capacity frames).
+const Version uint32 = 8
 
 // MaxPayload bounds a frame's payload; larger length prefixes are rejected
 // before any allocation (a malformed or hostile peer cannot make us

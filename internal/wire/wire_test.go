@@ -133,6 +133,15 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Fatalf("write-path stats round trip: %+v, %v", got, err)
 	}
 
+	pst := &Stats{
+		PoolHits: 9000, PoolMisses: 1000, PoolEvictions: 250,
+		PoolReadaheadIssued: 512, PoolReadaheadUsed: 480, PoolReadaheadWasted: 12,
+		PoolResidentPages: 4096, PoolCapacityPages: 65536,
+	}
+	if got, err := DecodeStats(pst.Encode()); err != nil || *got != *pst {
+		t.Fatalf("buffer-pool stats round trip: %+v, %v", got, err)
+	}
+
 	cr := &CommitResult{
 		Version: 7, Wave: 7,
 		Reassigned: 120, Scalars: 80, Evolved: true, Upgraded: 40,

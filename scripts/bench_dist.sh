@@ -16,9 +16,8 @@
 #   REPS=20            cold queries measured per cluster size (default 10)
 #   MIN_SPEEDUP=1.5    gate to enforce (default 1.3)
 #   BENCH_DIST_OUT=f   output path (default BENCH_dist.json)
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
+source "$(dirname "$0")/lib_bench.sh"
+bench_init dist
 
 OUT=${BENCH_DIST_OUT:-BENCH_dist.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-1.3}
@@ -35,8 +34,6 @@ else
   DB=(-providers 2000 -avg 100 -clustering class)
   Q='select p.name, pa.age from p in Providers, pa in p.clients where pa.mrn < 100000 and p.upin < 1800'
 fi
-
-CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
 
 WORK=$(mktemp -d)
 PIDS=()
@@ -118,15 +115,12 @@ measure 1; W1=$WALL
 measure 2; W2=$WALL
 measure 4; W4=$WALL
 
-SPEEDUP2=$(awk -v a="$W1" -v b="$W2" 'BEGIN { printf "%.2f", a / b }')
-SPEEDUP4=$(awk -v a="$W1" -v b="$W4" 'BEGIN { printf "%.2f", a / b }')
+SPEEDUP2=$(bench_ratio "$W1" "$W2")
+SPEEDUP4=$(bench_ratio "$W1" "$W4")
 
-ENFORCED=false
-if [ "$CPUS" -ge 4 ]; then
-  ENFORCED=true
-fi
+bench_cpu_gate 4
 
-cat > "$OUT" <<EOF
+bench_emit_json <<EOF
 {
   "benchmark": "cold PHJ tree query, 50% children x 90% parents, class clustering, through treebench-coord",
   "config": "$CONFIG",
@@ -141,13 +135,10 @@ cat > "$OUT" <<EOF
   "gate_enforced": $ENFORCED
 }
 EOF
-echo "bench-dist: 1 shard ${W1}s, 2 shards ${W2}s (${SPEEDUP2}x), 4 shards ${W4}s (${SPEEDUP4}x) on ${CPUS} CPUs (wrote $OUT)"
+bench_note "1 shard ${W1}s, 2 shards ${W2}s (${SPEEDUP2}x), 4 shards ${W4}s (${SPEEDUP4}x) on ${CPUS} CPUs"
 
 if [ "$ENFORCED" = true ]; then
-  awk -v sp="$SPEEDUP4" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp + 0 >= min + 0) }' || {
-    echo "bench-dist: 4-shard speedup ${SPEEDUP4}x below required ${MIN_SPEEDUP}x" >&2
-    exit 1
-  }
+  bench_gate_min "$SPEEDUP4" "$MIN_SPEEDUP" "4-shard speedup ${SPEEDUP4}x below required ${MIN_SPEEDUP}x"
 else
-  echo "bench-dist: ${CPUS} CPUs < 4, speedup gate recorded but not enforced"
+  bench_note "${CPUS} CPUs < 4, speedup gate recorded but not enforced"
 fi

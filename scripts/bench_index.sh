@@ -21,9 +21,8 @@
 #   TREEBENCH_SF=N      scale factor (default 10)
 #   MIN_BLOOM_SKIP=N    bloom gate percentage (default 50)
 #   BENCH_INDEX_OUT=f   output path (default BENCH_index.json)
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
+source "$(dirname "$0")/lib_bench.sh"
+bench_init index
 
 OUT=${BENCH_INDEX_OUT:-BENCH_index.json}
 MIN_BLOOM_SKIP=${MIN_BLOOM_SKIP:-50}
@@ -37,10 +36,7 @@ row() { echo "$RAW" | awk -v b="$1" '$1 == b { print; exit }'; }
 field() { row "$1" | awk -v f="$2" '{ print $f }'; }
 
 for b in btree disk lsm; do
-  if [ -z "$(row $b)" ]; then
-    echo "bench-index: no $b row in B1 output" >&2
-    exit 1
-  fi
+  bench_require "$(row $b)" "no $b row in B1 output"
 done
 
 json_row() {
@@ -58,7 +54,7 @@ json_row() {
 EOF
 }
 
-cat > "$OUT" <<EOF
+bench_emit_json <<EOF
 {
   "benchmark": "B1 index-backend ablation: 128 update waves, cold 5% indexed selection, 64 post-wave point reads",
   "scale_factor": $SF,
@@ -75,22 +71,12 @@ $(json_row lsm)
   "gates_enforced": true
 }
 EOF
-echo "bench-index: wrote $OUT"
 
 BT_W=$(field btree 4); LSM_W=$(field lsm 4)
 BT_R=$(field btree 6); LSM_R=$(field lsm 6)
 SKIP=$(field lsm 8 | tr -d '%')
 
-awk -v l="$LSM_W" -v b="$BT_W" 'BEGIN { exit !(l + 0 < b + 0) }' || {
-  echo "bench-index: LSM wave writes ($LSM_W) not below btree ($BT_W) — write absorption gate failed" >&2
-  exit 1
-}
-awk -v l="$LSM_R" -v b="$BT_R" 'BEGIN { exit !(l + 0 > b + 0) }' || {
-  echo "bench-index: LSM point scans ($LSM_R) not above btree ($BT_R) — read amplification gate failed" >&2
-  exit 1
-}
-awk -v s="$SKIP" -v min="$MIN_BLOOM_SKIP" 'BEGIN { exit !(s + 0 >= min + 0) }' || {
-  echo "bench-index: LSM bloom skip ${SKIP}% below required ${MIN_BLOOM_SKIP}% — bloom gate failed" >&2
-  exit 1
-}
-echo "bench-index: gates passed (writes ${LSM_W}<${BT_W}, point scans ${LSM_R}>${BT_R}, bloom skip ${SKIP}%>=${MIN_BLOOM_SKIP}%)"
+bench_gate_max "$LSM_W" "$BT_W" "LSM wave writes ($LSM_W) not below btree ($BT_W) — write absorption gate failed"
+bench_gate_max "$BT_R" "$LSM_R" "LSM point scans ($LSM_R) not above btree ($BT_R) — read amplification gate failed"
+bench_gate_min "$SKIP" "$MIN_BLOOM_SKIP" "LSM bloom skip ${SKIP}% below required ${MIN_BLOOM_SKIP}% — bloom gate failed"
+bench_note "gates passed (writes ${LSM_W}<${BT_W}, point scans ${LSM_R}>${BT_R}, bloom skip ${SKIP}%>=${MIN_BLOOM_SKIP}%)"

@@ -12,9 +12,8 @@
 #   BENCHTIME=10x      iterations per benchmark (default 5x)
 #   MIN_SPEEDUP=2.0    gate to enforce (default 1.5)
 #   BENCH_QUERY_OUT=f  output path (default BENCH_query.json)
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
+source "$(dirname "$0")/lib_bench.sh"
+bench_init query
 
 OUT=${BENCH_QUERY_OUT:-BENCH_query.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-1.5}
@@ -26,26 +25,19 @@ if [ "${BENCH_SHORT:-}" = "1" ]; then
   CONFIG="200x200"
 fi
 
-CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
-
 RAW=$(go test $SHORT_FLAG -run '^$' -bench 'BenchmarkQuery(Sequential|Parallel)$' \
   -benchtime "$BENCHTIME" .)
 echo "$RAW"
 
 SEQ=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQuerySequential/ {print $3}')
 PAR=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQueryParallel/ {print $3}')
-if [ -z "$SEQ" ] || [ -z "$PAR" ]; then
-  echo "bench-query: could not parse benchmark output" >&2
-  exit 1
-fi
-SPEEDUP=$(awk -v s="$SEQ" -v p="$PAR" 'BEGIN { printf "%.2f", s / p }')
+bench_require "$SEQ" "could not parse benchmark output"
+bench_require "$PAR" "could not parse benchmark output"
+SPEEDUP=$(bench_ratio "$SEQ" "$PAR")
 
-ENFORCED=false
-if [ "$CPUS" -ge 4 ]; then
-  ENFORCED=true
-fi
+bench_cpu_gate 4
 
-cat > "$OUT" <<EOF
+bench_emit_json <<EOF
 {
   "benchmark": "cold PHJ tree query, 90% children x 90% parents, class clustering",
   "config": "$CONFIG",
@@ -58,13 +50,10 @@ cat > "$OUT" <<EOF
   "gate_enforced": $ENFORCED
 }
 EOF
-echo "bench-query: sequential ${SEQ} ns/op, 4 workers ${PAR} ns/op -> ${SPEEDUP}x on ${CPUS} CPUs (wrote $OUT)"
+bench_note "sequential ${SEQ} ns/op, 4 workers ${PAR} ns/op -> ${SPEEDUP}x on ${CPUS} CPUs"
 
 if [ "$ENFORCED" = true ]; then
-  awk -v sp="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp + 0 >= min + 0) }' || {
-    echo "bench-query: speedup ${SPEEDUP}x below required ${MIN_SPEEDUP}x" >&2
-    exit 1
-  }
+  bench_gate_min "$SPEEDUP" "$MIN_SPEEDUP" "speedup ${SPEEDUP}x below required ${MIN_SPEEDUP}x"
 else
-  echo "bench-query: ${CPUS} CPUs < 4, speedup gate recorded but not enforced"
+  bench_note "${CPUS} CPUs < 4, speedup gate recorded but not enforced"
 fi

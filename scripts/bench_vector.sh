@@ -14,9 +14,8 @@
 #   BENCHTIME=10x       iterations per benchmark (default 5x)
 #   MIN_SPEEDUP=2.0     gate to enforce (default 1.3)
 #   BENCH_VECTOR_OUT=f  output path (default BENCH_vector.json)
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
+source "$(dirname "$0")/lib_bench.sh"
+bench_init vector
 
 OUT=${BENCH_VECTOR_OUT:-BENCH_vector.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-1.3}
@@ -28,21 +27,17 @@ if [ "${BENCH_SHORT:-}" = "1" ]; then
   CONFIG="200x200"
 fi
 
-CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
-
 RAW=$(go test $SHORT_FLAG -run '^$' -bench 'BenchmarkQuery(Scalar|Batched)$' \
   -benchtime "$BENCHTIME" .)
 echo "$RAW"
 
 SCALAR=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQueryScalar/ {print $3}')
 BATCHED=$(echo "$RAW" | awk '$1 ~ /^BenchmarkQueryBatched/ {print $3}')
-if [ -z "$SCALAR" ] || [ -z "$BATCHED" ]; then
-  echo "bench-vector: could not parse benchmark output" >&2
-  exit 1
-fi
-SPEEDUP=$(awk -v s="$SCALAR" -v b="$BATCHED" 'BEGIN { printf "%.2f", s / b }')
+bench_require "$SCALAR" "could not parse benchmark output"
+bench_require "$BATCHED" "could not parse benchmark output"
+SPEEDUP=$(bench_ratio "$SCALAR" "$BATCHED")
 
-cat > "$OUT" <<EOF
+bench_emit_json <<EOF
 {
   "benchmark": "cold PHJ tree query, 90% children x 90% parents, class clustering, 1 worker",
   "config": "$CONFIG",
@@ -55,9 +50,6 @@ cat > "$OUT" <<EOF
   "gate_enforced": true
 }
 EOF
-echo "bench-vector: scalar ${SCALAR} ns/op, batched ${BATCHED} ns/op -> ${SPEEDUP}x on ${CPUS} CPUs (wrote $OUT)"
+bench_note "scalar ${SCALAR} ns/op, batched ${BATCHED} ns/op -> ${SPEEDUP}x on ${CPUS} CPUs"
 
-awk -v sp="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp + 0 >= min + 0) }' || {
-  echo "bench-vector: speedup ${SPEEDUP}x below required ${MIN_SPEEDUP}x" >&2
-  exit 1
-}
+bench_gate_min "$SPEEDUP" "$MIN_SPEEDUP" "speedup ${SPEEDUP}x below required ${MIN_SPEEDUP}x"

@@ -15,17 +15,14 @@
 #   COMMITS=64        commits measured per writer count (default 48)
 #   MIN_SPEEDUP=2.5   gate to enforce (default 2.0)
 #   BENCH_WAL_OUT=f   output path (default BENCH_wal.json)
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
+source "$(dirname "$0")/lib_bench.sh"
+bench_init wal
 
 OUT=${BENCH_WAL_OUT:-BENCH_wal.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 COMMITS=${COMMITS:-48}
 ADDR=${BENCH_WAL_ADDR:-127.0.0.1:8663}
 DB=(-providers 40 -avg 10 -clustering class)
-
-CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
 
 WORK=$(mktemp -d)
 DPID=
@@ -73,15 +70,12 @@ measure 1;  C1=$CPS;  R1=$RATIO
 measure 4;  C4=$CPS;  R4=$RATIO
 measure 16; C16=$CPS; R16=$RATIO
 
-SPEEDUP4=$(awk -v a="$C1" -v b="$C4" 'BEGIN { printf "%.2f", b / a }')
-SPEEDUP16=$(awk -v a="$C1" -v b="$C16" 'BEGIN { printf "%.2f", b / a }')
+SPEEDUP4=$(bench_ratio "$C4" "$C1")
+SPEEDUP16=$(bench_ratio "$C16" "$C1")
 
-ENFORCED=false
-if [ "$CPUS" -ge 4 ]; then
-  ENFORCED=true
-fi
+bench_cpu_gate 4
 
-cat > "$OUT" <<EOF
+bench_emit_json <<EOF
 {
   "benchmark": "durable update-wave commits through treebenchd -wal (group commit)",
   "commits_per_writer_count": $COMMITS,
@@ -98,13 +92,10 @@ cat > "$OUT" <<EOF
   "gate_enforced": $ENFORCED
 }
 EOF
-echo "bench-wal: 1 writer ${C1}/s (×${R1}), 4 writers ${C4}/s (×${R4}), 16 writers ${C16}/s (×${R16}) on ${CPUS} CPUs (wrote $OUT)"
+bench_note "1 writer ${C1}/s (×${R1}), 4 writers ${C4}/s (×${R4}), 16 writers ${C16}/s (×${R16}) on ${CPUS} CPUs"
 
 if [ "$ENFORCED" = true ]; then
-  awk -v sp="$SPEEDUP16" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp + 0 >= min + 0) }' || {
-    echo "bench-wal: 16-writer speedup ${SPEEDUP16}x below required ${MIN_SPEEDUP}x" >&2
-    exit 1
-  }
+  bench_gate_min "$SPEEDUP16" "$MIN_SPEEDUP" "16-writer speedup ${SPEEDUP16}x below required ${MIN_SPEEDUP}x"
 else
-  echo "bench-wal: ${CPUS} CPUs < 4, speedup gate recorded but not enforced"
+  bench_note "${CPUS} CPUs < 4, speedup gate recorded but not enforced"
 fi
